@@ -1,0 +1,156 @@
+package nestwrf_test
+
+// One benchmark per table and figure of the paper's evaluation: each
+// bench re-runs the corresponding experiment of internal/experiments
+// (the same code `go run ./cmd/experiments -run <id>` executes) and
+// reports the headline simulated metric via b.ReportMetric, so
+// `go test -bench=. -benchmem` regenerates the entire evaluation.
+
+import (
+	"strconv"
+	"testing"
+
+	"nestwrf"
+	"nestwrf/internal/experiments"
+)
+
+// benchExperiment runs a registered experiment b.N times.
+func benchExperiment(b *testing.B, id string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+func BenchmarkFig2Scalability(b *testing.B)     { benchExperiment(b, "fig2") }
+func BenchmarkPredictionModel(b *testing.B)     { benchExperiment(b, "predict") }
+func BenchmarkFig3Partition(b *testing.B)       { benchExperiment(b, "fig3") }
+func BenchmarkFig4SplitDim(b *testing.B)        { benchExperiment(b, "fig4") }
+func BenchmarkFig56Mappings(b *testing.B)       { benchExperiment(b, "fig56") }
+func BenchmarkPerIteration85(b *testing.B)      { benchExperiment(b, "periter") }
+func BenchmarkFig8IOImprovement(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkTable1Wait(b *testing.B)          { benchExperiment(b, "tab1") }
+func BenchmarkTable2Fig9Siblings(b *testing.B)  { benchExperiment(b, "tab2fig9") }
+func BenchmarkFig10LargeSiblings(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkVaryingSiblingCount(b *testing.B) { benchExperiment(b, "nsib") }
+func BenchmarkTable3NestSizes(b *testing.B)     { benchExperiment(b, "tab3") }
+func BenchmarkTable4Fig11BGL(b *testing.B)      { benchExperiment(b, "tab4fig11") }
+func BenchmarkTable5Fig12BGP(b *testing.B)      { benchExperiment(b, "tab5fig12") }
+func BenchmarkFig13IO(b *testing.B)             { benchExperiment(b, "fig1314") }
+func BenchmarkAllocEfficiency(b *testing.B)     { benchExperiment(b, "alloceff") }
+func BenchmarkFig15Speedup(b *testing.B)        { benchExperiment(b, "fig15") }
+
+// Ablations of the design choices DESIGN.md calls out, plus the
+// future-work 5D-torus mapping.
+func BenchmarkAblationContention(b *testing.B) { benchExperiment(b, "abl-contention") }
+func BenchmarkAblationShape(b *testing.B)      { benchExperiment(b, "abl-shape") }
+func BenchmarkAblationExchanges(b *testing.B)  { benchExperiment(b, "abl-exchanges") }
+func BenchmarkBGQ5DFold(b *testing.B)          { benchExperiment(b, "bgq") }
+func BenchmarkCampaign(b *testing.B)           { benchExperiment(b, "campaign") }
+func BenchmarkSEAsia(b *testing.B)             { benchExperiment(b, "seasia") }
+func BenchmarkSteering(b *testing.B)           { benchExperiment(b, "steer") }
+
+// Component micro-benchmarks: the costs of the paper's pipeline pieces.
+
+func benchConfig() *nestwrf.Domain {
+	cfg := nestwrf.NewDomain("pacific", 286, 307)
+	cfg.AddChild("sibling1", 394, 418, 3, 5, 5)
+	cfg.AddChild("sibling2", 232, 202, 3, 150, 10)
+	cfg.AddChild("sibling3", 232, 256, 3, 10, 160)
+	cfg.AddChild("sibling4", 313, 337, 3, 140, 150)
+	return cfg
+}
+
+func BenchmarkTrainPredictor(b *testing.B) {
+	m := nestwrf.BlueGeneL()
+	for i := 0; i < b.N; i++ {
+		if _, err := nestwrf.TrainPredictor(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanPipeline(b *testing.B) {
+	cfg := benchConfig()
+	m := nestwrf.BlueGeneL()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nestwrf.Plan(cfg, m, 1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulate measures one virtual-time iteration at several
+// machine sizes; the reported metric is the simulated iteration time.
+func BenchmarkSimulate(b *testing.B) {
+	cfg := benchConfig()
+	pred, err := nestwrf.TrainPredictor(nestwrf.BlueGeneP())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ranks := range []int{512, 1024, 2048, 4096, 8192} {
+		b.Run(strconv.Itoa(ranks), func(b *testing.B) {
+			opt := nestwrf.Options{
+				Machine:   nestwrf.BlueGeneP(),
+				Ranks:     ranks,
+				Strategy:  nestwrf.StrategyConcurrent,
+				MapKind:   nestwrf.MapMultiLevel,
+				Alloc:     nestwrf.AllocPredicted,
+				Predictor: pred,
+			}
+			var last nestwrf.Result
+			for i := 0; i < b.N; i++ {
+				res, err := nestwrf.Simulate(cfg, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.IterTime, "sim-s/iter")
+		})
+	}
+}
+
+// BenchmarkFunctional runs the real mini-WRF on the goroutine MPI
+// runtime under both strategies.
+func BenchmarkFunctional(b *testing.B) {
+	cfg := nestwrf.NewDomain("parent", 64, 64)
+	cfg.AddChild("nest1", 60, 48, 3, 2, 2)
+	cfg.AddChild("nest2", 48, 36, 3, 30, 30)
+	for _, s := range []struct {
+		name     string
+		strategy nestwrf.FunctionalStrategy
+	}{
+		{"sequential", nestwrf.FunctionalSequential},
+		{"concurrent", nestwrf.FunctionalConcurrent},
+	} {
+		b.Run(s.name, func(b *testing.B) {
+			var clock float64
+			for i := 0; i < b.N; i++ {
+				out, err := nestwrf.RunFunctional(cfg, nestwrf.FunctionalOptions{
+					Ranks:     32,
+					Steps:     2,
+					Strategy:  s.strategy,
+					PointCost: 1e-6,
+					TM:        nestwrf.AlphaBeta{Alpha: 5e-5, Beta: 1e-9},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				clock = out.MaxClock
+			}
+			b.ReportMetric(clock*1e3, "sim-ms")
+		})
+	}
+}

@@ -1,0 +1,66 @@
+// Command experiments regenerates the tables and figures of the
+// paper's evaluation on the virtual-time simulator.
+//
+// Usage:
+//
+//	experiments -list            # list experiment ids
+//	experiments -run fig8        # run one experiment
+//	experiments -all             # run everything (text)
+//	experiments -all -md         # run everything (markdown, for EXPERIMENTS.md)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nestwrf/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	run := flag.String("run", "", "run a single experiment by id")
+	all := flag.Bool("all", false, "run every experiment")
+	md := flag.Bool("md", false, "emit markdown instead of aligned text")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+	case *run != "":
+		e, ok := experiments.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *run)
+			os.Exit(2)
+		}
+		if err := emit(e, *md); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *all:
+		for _, e := range experiments.All() {
+			if err := emit(e, *md); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func emit(e experiments.Experiment, md bool) error {
+	t, err := e.Run()
+	if err != nil {
+		return fmt.Errorf("%s: %w", e.ID, err)
+	}
+	if md {
+		fmt.Println(t.Markdown())
+	} else {
+		fmt.Println(t.String())
+	}
+	return nil
+}

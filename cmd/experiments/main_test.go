@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"nestwrf/internal/experiments"
+)
+
+// capture runs fn with stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), ferr
+}
+
+func TestEmitText(t *testing.T) {
+	e, ok := experiments.ByID("fig3")
+	if !ok {
+		t.Fatal("fig3 not registered")
+	}
+	out, err := capture(t, func() error { return emit(e, false) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains([]byte(out), []byte("== fig3:")) {
+		t.Errorf("text output missing header:\n%s", out)
+	}
+}
+
+func TestEmitMarkdown(t *testing.T) {
+	e, ok := experiments.ByID("fig4")
+	if !ok {
+		t.Fatal("fig4 not registered")
+	}
+	out, err := capture(t, func() error { return emit(e, true) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains([]byte(out), []byte("### fig4:")) {
+		t.Errorf("markdown output missing header:\n%s", out)
+	}
+}
+
+func TestEmitPropagatesErrors(t *testing.T) {
+	broken := experiments.Experiment{
+		ID:    "broken",
+		Title: "always fails",
+		Run: func() (*experiments.Table, error) {
+			return nil, os.ErrInvalid
+		},
+	}
+	if _, err := capture(t, func() error { return emit(broken, false) }); err == nil {
+		t.Error("emit should propagate experiment errors")
+	}
+}

@@ -1,0 +1,88 @@
+// Command wrfdump inspects forecast files written in the library's
+// binary format (the wrfout stand-in produced by EncodeForecast and the
+// forecast-visual example).
+//
+// Usage:
+//
+//	wrfdump forecast.nwrf              # list records
+//	wrfdump -render forecast.nwrf     # list + terminal heatmaps
+//	wrfdump -field speed -render f.nwrf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"nestwrf"
+)
+
+func main() {
+	render := flag.Bool("render", false, "draw each record as a terminal heatmap")
+	width := flag.Int("width", 48, "heatmap width in characters")
+	field := flag.String("field", "height", "field to render: height, hu, hv, speed")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: wrfdump [-render] [-field height|hu|hv|speed] FILE")
+		os.Exit(2)
+	}
+	var fld nestwrf.ForecastField
+	switch *field {
+	case "height":
+		fld = nestwrf.FieldHeight
+	case "hu":
+		fld = nestwrf.FieldMomentumU
+	case "hv":
+		fld = nestwrf.FieldMomentumV
+	case "speed":
+		fld = nestwrf.FieldSpeed
+	default:
+		fmt.Fprintf(os.Stderr, "wrfdump: unknown field %q\n", *field)
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wrfdump:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	n := 0
+	for {
+		domain, step, st, err := nestwrf.DecodeForecast(f)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wrfdump: record %d: %v\n", n, err)
+			os.Exit(1)
+		}
+		n++
+		min, max, mass := summarize(st)
+		fmt.Printf("record %d: domain %q step %d  %dx%d  h=[%.4f, %.4f]  mass=%.3f\n",
+			n, domain, step, st.NX, st.NY, min, max, mass)
+		if *render {
+			fmt.Print(nestwrf.ForecastASCII(st, fld, *width))
+		}
+	}
+	if n == 0 {
+		fmt.Println("no records")
+	}
+}
+
+func summarize(st *nestwrf.ForecastState) (min, max, mass float64) {
+	min, max = st.H[0], st.H[0]
+	for _, h := range st.H {
+		if h < min {
+			min = h
+		}
+		if h > max {
+			max = h
+		}
+		mass += h
+	}
+	return min, max, mass
+}

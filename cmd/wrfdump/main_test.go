@@ -1,0 +1,16 @@
+package main
+
+import (
+	"testing"
+
+	"nestwrf"
+)
+
+func TestSummarize(t *testing.T) {
+	st := &nestwrf.ForecastState{NX: 2, NY: 2, H: []float64{1, 2, 3, 4},
+		HU: make([]float64, 4), HV: make([]float64, 4)}
+	min, max, mass := summarize(st)
+	if min != 1 || max != 4 || mass != 10 {
+		t.Errorf("summarize = %v %v %v", min, max, mass)
+	}
+}

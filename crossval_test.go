@@ -1,0 +1,123 @@
+package nestwrf_test
+
+// Cross-validation between the two worlds of the library: the
+// virtual-time cost model (driver) and the functional mini-WRF (wrfsim)
+// must agree on the paper's qualitative claims for the same
+// configuration — concurrent beats sequential, and the topology-aware
+// fold beats the oblivious mapping.
+
+import (
+	"strings"
+	"testing"
+
+	"nestwrf"
+)
+
+func crossConfig() *nestwrf.Domain {
+	cfg := nestwrf.NewDomain("parent", 64, 64)
+	cfg.AddChild("nest1", 60, 48, 3, 2, 2)
+	cfg.AddChild("nest2", 48, 36, 3, 30, 30)
+	return cfg
+}
+
+func TestModeledAndFunctionalAgreeOnStrategy(t *testing.T) {
+	cfg := crossConfig()
+
+	// Modeled verdict at 32 ranks.
+	cmp, err := nestwrf.Compare(cfg, nestwrf.Options{
+		Machine: nestwrf.BlueGeneL(),
+		Ranks:   32,
+		MapKind: nestwrf.MapOblivious,
+		Alloc:   nestwrf.AllocNaivePoints, // same weights the functional run uses
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modeledWin := cmp.Concurrent.IterTime < cmp.Default.IterTime
+
+	// Functional verdict with communication-significant transfer times.
+	run := func(s nestwrf.FunctionalStrategy) float64 {
+		out, err := nestwrf.RunFunctional(cfg, nestwrf.FunctionalOptions{
+			Ranks:     32,
+			Steps:     3,
+			Strategy:  s,
+			PointCost: 1e-6,
+			TM:        nestwrf.AlphaBeta{Alpha: 5e-5, Beta: 1e-9},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.MaxClock
+	}
+	functionalWin := run(nestwrf.FunctionalConcurrent) < run(nestwrf.FunctionalSequential)
+
+	if modeledWin != functionalWin {
+		t.Errorf("worlds disagree: modeled concurrent-wins=%v, functional concurrent-wins=%v",
+			modeledWin, functionalWin)
+	}
+	if !modeledWin {
+		t.Error("both worlds should find the concurrent strategy faster here")
+	}
+}
+
+func TestModeledAndFunctionalAgreeOnMapping(t *testing.T) {
+	cfg := crossConfig()
+
+	// Modeled: multilevel <= oblivious at 32 ranks.
+	run := func(kind nestwrf.MapKind) float64 {
+		res, err := nestwrf.Simulate(cfg, nestwrf.Options{
+			Machine:  nestwrf.BlueGeneL(),
+			Ranks:    32,
+			Strategy: nestwrf.StrategyConcurrent,
+			MapKind:  kind,
+			Alloc:    nestwrf.AllocNaivePoints,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IterTime
+	}
+	modeledGain := run(nestwrf.MapOblivious) - run(nestwrf.MapMultiLevel)
+
+	// Functional: topology time model with heavy per-hop latency.
+	m := nestwrf.BlueGeneL()
+	m.Net.LatencyPerHop = 2e-5
+	m.Net.Overhead = 1e-5
+	frun := func(kind nestwrf.MapKind) float64 {
+		tm, err := nestwrf.NewTopologyTimeModel(kind, m, 32, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := nestwrf.RunFunctional(cfg, nestwrf.FunctionalOptions{
+			Ranks:     32,
+			Steps:     3,
+			Strategy:  nestwrf.FunctionalConcurrent,
+			PointCost: 1e-6,
+			TM:        tm,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.MaxClock
+	}
+	functionalGain := frun(nestwrf.MapOblivious) - frun(nestwrf.MapMultiLevel)
+
+	if modeledGain < 0 || functionalGain < 0 {
+		t.Errorf("fold should not lose in either world: modeled %+e, functional %+e",
+			modeledGain, functionalGain)
+	}
+}
+
+func TestPartitionsSVGFacade(t *testing.T) {
+	plan, err := nestwrf.Plan(table2(), nestwrf.BlueGeneL(), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := nestwrf.PartitionsSVG(plan)
+	if !strings.HasPrefix(svg, "<svg ") {
+		t.Error("not an SVG document")
+	}
+	if strings.Count(svg, "<rect ") != len(plan.Rects)+1 {
+		t.Errorf("rect count %d for %d partitions", strings.Count(svg, "<rect "), len(plan.Rects))
+	}
+}

@@ -1,0 +1,71 @@
+// South-East Asia operational forecasting: the paper's Section 4.1.1
+// scenario. A 4.5 km parent covers Malaysia, Singapore, Thailand,
+// Cambodia, Vietnam, Brunei and the Philippines, with 1.5 km nests over
+// the major business centres — including two-level nesting — and
+// high-frequency forecast output for simultaneous visualization. The
+// example shows how the concurrent strategy also rescues parallel-I/O
+// scalability (the paper's Figs. 13-14).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nestwrf"
+)
+
+func main() {
+	machine := nestwrf.BlueGeneP()
+
+	// Innermost nests over the business centres (Fig. 7 of the paper).
+	cfg := nestwrf.NewDomain("sea", 340, 360)
+	cfg.AddChild("singapore", 220, 180, 3, 5, 10)
+	cfg.AddChild("bangkok", 260, 220, 3, 100, 100)
+	cfg.AddChild("manila", 180, 240, 3, 210, 200)
+	cfg.AddChild("hanoi", 200, 200, 3, 20, 250)
+
+	fmt.Println("high-frequency output: forecast files every 5 iterations (PnetCDF)")
+	fmt.Printf("%-7s %-26s %-26s %s\n", "cores",
+		"sequential (integ+I/O)", "concurrent (integ+I/O)", "total gain")
+	for _, ranks := range []int{512, 1024, 2048, 4096, 8192} {
+		cmp, err := nestwrf.Compare(cfg, nestwrf.Options{
+			Machine:          machine,
+			Ranks:            ranks,
+			MapKind:          nestwrf.MapMultiLevel,
+			Alloc:            nestwrf.AllocPredicted,
+			IOMode:           nestwrf.IOCollective,
+			OutputEverySteps: 5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-7d %6.3f + %-6.3f = %-9.3f %6.3f + %-6.3f = %-9.3f %.1f%%\n",
+			ranks,
+			cmp.Default.IterTime, cmp.Default.IOTime, cmp.Default.Total(),
+			cmp.Concurrent.IterTime, cmp.Concurrent.IOTime, cmp.Concurrent.Total(),
+			cmp.TotalImprovementPct)
+	}
+
+	// Two-level nesting: a 1.5 km mid-level domain over the Malay
+	// peninsula whose own children resolve the metro areas at 500 m.
+	deep := nestwrf.NewDomain("sea-2level", 340, 360)
+	mid := deep.AddChild("peninsula", 600, 540, 3, 60, 80)
+	mid.AddChild("kl-metro", 280, 240, 3, 40, 50)
+	mid.AddChild("sg-metro", 260, 220, 3, 320, 280)
+
+	cmp, err := nestwrf.Compare(deep, nestwrf.Options{
+		Machine: machine,
+		Ranks:   4096,
+		MapKind: nestwrf.MapMultiLevel,
+		Alloc:   nestwrf.AllocPredicted,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntwo-level nesting (siblings at the second level), 4096 cores:\n")
+	fmt.Printf("  sequential %.3f s, concurrent %.3f s: %.1f%% improvement\n",
+		cmp.Default.IterTime, cmp.Concurrent.IterTime, cmp.ImprovementPct)
+	fmt.Println("\nnote how the I/O share of the sequential strategy grows with scale —")
+	fmt.Println("PnetCDF collective writes do not scale with the writer count, so fewer")
+	fmt.Println("writers per sibling file (the concurrent strategy) restores scalability.")
+}

@@ -1,0 +1,3 @@
+module nestwrf
+
+go 1.24

@@ -1,0 +1,162 @@
+// Package campaign simulates multi-day forecast campaigns in which the
+// set of tracked regions of interest changes over time — depressions
+// form, intensify and dissipate, each spawning or retiring a
+// high-resolution nest ("multiple simulations need to be spawned within
+// the main parent simulation", Section 1 of the paper). Each phase of a
+// campaign re-plans the processor allocation; the concurrent strategy
+// additionally pays a modeled redistribution cost when partitions
+// change, so the comparison against the default strategy stays honest.
+package campaign
+
+import (
+	"errors"
+	"fmt"
+
+	"nestwrf/internal/driver"
+	"nestwrf/internal/nest"
+)
+
+// Phase is one segment of a campaign: a domain configuration that stays
+// active for a number of parent iterations.
+type Phase struct {
+	Steps  int
+	Config *nest.Domain
+}
+
+// PhaseResult reports one phase's per-iteration times under both
+// strategies.
+type PhaseResult struct {
+	Name        string
+	Steps       int
+	Nests       int
+	DefaultIter float64
+	ConcIter    float64
+	// Redistribute is the one-off cost the concurrent strategy paid at
+	// the phase boundary to move nest state onto the new partitions.
+	Redistribute float64
+}
+
+// Result aggregates a whole campaign.
+type Result struct {
+	Phases []PhaseResult
+	// TotalDefault and TotalConcurrent are the campaign wall times
+	// (virtual seconds), including redistribution for the concurrent
+	// strategy.
+	TotalDefault    float64
+	TotalConcurrent float64
+	// Replans counts partition changes.
+	Replans int
+}
+
+// ImprovementPct returns the campaign-level gain of the concurrent
+// strategy.
+func (r Result) ImprovementPct() float64 {
+	if r.TotalDefault == 0 {
+		return 0
+	}
+	return 100 * (r.TotalDefault - r.TotalConcurrent) / r.TotalDefault
+}
+
+// Errors.
+var (
+	ErrNoPhases = errors.New("campaign: no phases")
+	ErrBadSteps = errors.New("campaign: phase steps must be positive")
+)
+
+// StateBytesPerPoint is the nest state volume that must move when a
+// nest's partition changes (full prognostic state, all levels).
+const StateBytesPerPoint = 4500.0
+
+// Run executes the campaign under both strategies with the given base
+// options (Strategy is set per run; everything else is honoured).
+func Run(phases []Phase, opt driver.Options) (Result, error) {
+	if len(phases) == 0 {
+		return Result{}, ErrNoPhases
+	}
+	var res Result
+	prevKey := "" // previous partition layout, for change detection
+	for i, ph := range phases {
+		if ph.Steps <= 0 {
+			return Result{}, fmt.Errorf("%w: phase %d", ErrBadSteps, i)
+		}
+		seqOpt := opt
+		seqOpt.Strategy = driver.Sequential
+		seqOpt.MapKind = driver.MapSequential
+		seq, err := driver.Run(ph.Config, seqOpt)
+		if err != nil {
+			return Result{}, fmt.Errorf("phase %d (%s): %w", i, ph.Config.Name, err)
+		}
+		conOpt := opt
+		conOpt.Strategy = driver.Concurrent
+		con, err := driver.Run(ph.Config, conOpt)
+		if err != nil {
+			return Result{}, fmt.Errorf("phase %d (%s): %w", i, ph.Config.Name, err)
+		}
+
+		// Redistribution: when the partition layout changes, every nest's
+		// state crosses the network once. The aggregate transfer is
+		// bounded by the machine's per-link bandwidth times the torus
+		// bisection-ish capacity; a simple aggregate-bandwidth model
+		// (#ranks/4 concurrent links) captures the scale.
+		redist := 0.0
+		key := fmt.Sprintf("%v", con.Rects)
+		if key != prevKey {
+			if prevKey != "" {
+				res.Replans++
+				var bytes float64
+				for _, c := range ph.Config.Children {
+					bytes += float64(c.Points()) * StateBytesPerPoint
+				}
+				agg := opt.Machine.Net.Bandwidth * float64(opt.Ranks) / 4
+				redist = bytes/agg + opt.Machine.Net.Overhead*float64(len(ph.Config.Children))
+			}
+			prevKey = key
+		}
+
+		res.Phases = append(res.Phases, PhaseResult{
+			Name:         ph.Config.Name,
+			Steps:        ph.Steps,
+			Nests:        len(ph.Config.Children),
+			DefaultIter:  seq.IterTime,
+			ConcIter:     con.IterTime,
+			Redistribute: redist,
+		})
+		res.TotalDefault += float64(ph.Steps) * seq.IterTime
+		res.TotalConcurrent += float64(ph.Steps)*con.IterTime + redist
+	}
+	return res, nil
+}
+
+// Season builds a typical typhoon-season storyline on the Pacific
+// parent: one depression forms, a second joins, both intensify as a
+// third appears, then the system decays back to a single region.
+func Season(stepsPerPhase int) []Phase {
+	mk := func(name string, sibs [][4]int) *nest.Domain {
+		cfg := nest.Root(name, 286, 307)
+		for i, s := range sibs {
+			cfg.AddChild(fmt.Sprintf("dep%d", i+1), s[0], s[1], 3, s[2], s[3])
+		}
+		return cfg
+	}
+	return []Phase{
+		{Steps: stepsPerPhase, Config: mk("formation", [][4]int{
+			{259, 229, 20, 30},
+		})},
+		{Steps: stepsPerPhase, Config: mk("pairing", [][4]int{
+			{313, 337, 10, 10},
+			{259, 229, 150, 160},
+		})},
+		{Steps: stepsPerPhase, Config: mk("peak", [][4]int{
+			{394, 418, 5, 5},
+			{313, 337, 150, 10},
+			{259, 229, 20, 170},
+		})},
+		{Steps: stepsPerPhase, Config: mk("landfall", [][4]int{
+			{415, 445, 30, 30},
+			{232, 256, 170, 170},
+		})},
+		{Steps: stepsPerPhase, Config: mk("decay", [][4]int{
+			{232, 202, 80, 90},
+		})},
+	}
+}

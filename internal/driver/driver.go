@@ -1,0 +1,523 @@
+// Package driver orchestrates complete simulated WRF runs and
+// implements the two execution strategies the paper compares
+// (Section 3): the default strategy, which integrates every nested
+// simulation sequentially on the full processor set, and the proposed
+// concurrent strategy, which partitions the virtual processor grid
+// among the siblings using predicted execution times and runs them
+// simultaneously on sub-communicators, optionally with topology-aware
+// mappings on the torus.
+package driver
+
+import (
+	"errors"
+	"fmt"
+
+	"nestwrf/internal/alloc"
+	"nestwrf/internal/iosim"
+	"nestwrf/internal/machine"
+	"nestwrf/internal/mapping"
+	"nestwrf/internal/model"
+	"nestwrf/internal/nest"
+	"nestwrf/internal/predict"
+	"nestwrf/internal/torus"
+	"nestwrf/internal/vtopo"
+)
+
+// Strategy selects how sibling nests are executed.
+type Strategy int
+
+// Execution strategies.
+const (
+	// Sequential is WRF's default: each nest in turn on all processors.
+	Sequential Strategy = iota
+	// Concurrent is the paper's strategy: siblings simultaneously on
+	// disjoint rectangular processor partitions.
+	Concurrent
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	if s == Sequential {
+		return "sequential"
+	}
+	return "concurrent"
+}
+
+// MapKind selects the rank-to-torus mapping.
+type MapKind int
+
+// Mappings (Section 3.3).
+const (
+	MapSequential MapKind = iota // topology-oblivious default (Fig. 5b)
+	MapTXYZ                      // Blue Gene's TXYZ ordering
+	MapPartition                 // partition mapping (Fig. 6a)
+	MapMultiLevel                // multi-level folded mapping (Fig. 6b)
+)
+
+// String implements fmt.Stringer.
+func (k MapKind) String() string {
+	switch k {
+	case MapSequential:
+		return "oblivious"
+	case MapTXYZ:
+		return "txyz"
+	case MapPartition:
+		return "partition"
+	case MapMultiLevel:
+		return "multilevel"
+	}
+	return fmt.Sprintf("MapKind(%d)", int(k))
+}
+
+// AllocPolicy selects how sibling partitions are sized.
+type AllocPolicy int
+
+// Allocation policies (Sections 3.2 and 4.6).
+const (
+	// AllocPredicted: Algorithm 1 with execution-time ratios from the
+	// interpolation-based performance model.
+	AllocPredicted AllocPolicy = iota
+	// AllocNaivePoints: consecutive strips proportional to point counts.
+	AllocNaivePoints
+	// AllocEqual: equal strips regardless of workload.
+	AllocEqual
+	// AllocStripsPredicted: consecutive strips sized by the predicted
+	// execution times — the shape ablation: same weights as
+	// AllocPredicted but without Algorithm 1's square-like bisection.
+	AllocStripsPredicted
+)
+
+// String implements fmt.Stringer.
+func (p AllocPolicy) String() string {
+	switch p {
+	case AllocPredicted:
+		return "predicted"
+	case AllocNaivePoints:
+		return "naive-points"
+	case AllocEqual:
+		return "equal"
+	case AllocStripsPredicted:
+		return "strips-predicted"
+	}
+	return fmt.Sprintf("AllocPolicy(%d)", int(p))
+}
+
+// Options configure a simulated run.
+type Options struct {
+	Machine  machine.Machine
+	Ranks    int
+	Strategy Strategy
+	MapKind  MapKind
+	Alloc    AllocPolicy
+
+	// Predictor supplies execution-time ratios for AllocPredicted. When
+	// nil, a predictor is trained from the machine's cost model on the
+	// default 13-shape basis (the paper's 13 profiling runs).
+	Predictor *predict.Model
+
+	// IOMode and OutputEverySteps control the I/O model: every
+	// OutputEverySteps parent iterations, each domain writes a forecast
+	// file. Zero disables I/O.
+	IOMode           iosim.Mode
+	OutputEverySteps int
+
+	// NoContention disables the link-sharing congestion model (every
+	// message sees full link bandwidth). Used by the contention
+	// ablation experiment.
+	NoContention bool
+
+	// FixedWeights, when non-nil and matching the first-level sibling
+	// count, bypasses the predictor and feeds these weights directly to
+	// Algorithm 1. Used by the steering controller, which corrects the
+	// allocation from measured phase times. Deeper nesting levels still
+	// use the predictor.
+	FixedWeights []float64
+}
+
+// OutputBytesPerPoint is the forecast output volume per horizontal grid
+// point (3D fields over all vertical levels).
+const OutputBytesPerPoint = 4500.0
+
+// DomainMetrics reports the per-sibling timings behind Figs. 9 and 10.
+type DomainMetrics struct {
+	Name string
+	// Ranks the sibling ran on.
+	Ranks int
+	// StepTime is the duration of one nest sub-step (including nested
+	// descendants).
+	StepTime float64
+	// PhaseTime is Ratio * StepTime + coupling: the sibling's share of
+	// one parent iteration.
+	PhaseTime float64
+	// Rect is the processor partition (concurrent strategy only).
+	Rect alloc.Rect
+}
+
+// Result aggregates one run's virtual-time metrics, per parent
+// iteration.
+type Result struct {
+	// IterTime is the integration time (no I/O).
+	IterTime float64
+	// IOTime is the amortized per-iteration I/O time.
+	IOTime float64
+	// WaitAvg and WaitMax are the mean and maximum accumulated per-rank
+	// MPI_Wait times per iteration.
+	WaitAvg, WaitMax float64
+	// HopsAvg is the communication-weighted mean hop distance.
+	HopsAvg float64
+	// Siblings reports the first-level nests.
+	Siblings []DomainMetrics
+	// Rects are the first-level partitions (concurrent strategy only).
+	Rects []alloc.Rect
+}
+
+// Total returns integration plus I/O time per iteration.
+func (r Result) Total() float64 { return r.IterTime + r.IOTime }
+
+// Errors returned by Run.
+var (
+	ErrBadRanks   = errors.New("driver: rank count must be positive")
+	ErrNoSiblings = errors.New("driver: concurrent strategy needs at least one nest")
+)
+
+// TrainPredictor fits the interpolation model from the machine's cost
+// model on the default basis, profiled on a fixed 64-rank grid — the
+// counterpart of the paper's 13 profiling runs.
+func TrainPredictor(m machine.Machine) (*predict.Model, error) {
+	const profileRanks = 64
+	g, err := machine.GridFor(profileRanks)
+	if err != nil {
+		return nil, err
+	}
+	tor, err := machine.TorusFor(profileRanks)
+	if err != nil {
+		return nil, err
+	}
+	mp, err := mapping.Sequential(g, tor)
+	if err != nil {
+		return nil, err
+	}
+	samples := predict.Profile(predict.DefaultBasis(), func(nx, ny int) float64 {
+		return model.SingleDomainStep(m, mp, nest.Root("probe", nx, ny)).Time()
+	})
+	return predict.Fit(samples)
+}
+
+// run tracks the state of one simulated iteration.
+type run struct {
+	opt     Options
+	mp      *mapping.Mapping
+	waitAvg []float64 // per-rank accumulated wait (average-case comm)
+	waitMax []float64 // per-rank accumulated wait (worst-case comm)
+	hopNum  float64   // hops weighted by communicating rank-steps
+	hopDen  float64
+}
+
+// Run simulates one parent iteration of the domain tree cfg under the
+// given options and returns its virtual-time metrics.
+func Run(cfg *nest.Domain, opt Options) (Result, error) {
+	if opt.Ranks <= 0 {
+		return Result{}, ErrBadRanks
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	g, err := machine.GridFor(opt.Ranks)
+	if err != nil {
+		return Result{}, err
+	}
+	tor, err := machine.TorusFor(opt.Ranks)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// The first-level partitions are needed up front: the partition
+	// mapping is defined by them.
+	var rects []alloc.Rect
+	if opt.Strategy == Concurrent {
+		if len(cfg.Children) == 0 {
+			return Result{}, ErrNoSiblings
+		}
+		rects, err = allocate(cfg.Children, g.Px, g.Py, &opt)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	mp, err := buildMapping(opt.MapKind, g, tor, rects, opt.Machine)
+	if err != nil {
+		return Result{}, err
+	}
+
+	r := &run{
+		opt:     opt,
+		mp:      mp,
+		waitAvg: make([]float64, opt.Ranks),
+		waitMax: make([]float64, opt.Ranks),
+	}
+
+	full, err := vtopo.NewSubgrid(g, alloc.Rect{W: g.Px, H: g.Py})
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{Rects: rects}
+	iter, sibs, err := r.domainIter(cfg, full, rects, 1)
+	if err != nil {
+		return Result{}, err
+	}
+	res.IterTime = iter
+	res.Siblings = sibs
+
+	// Aggregate wait statistics.
+	var sum float64
+	for _, w := range r.waitAvg {
+		sum += w
+	}
+	res.WaitAvg = sum / float64(opt.Ranks)
+	for _, w := range r.waitMax {
+		if w > res.WaitMax {
+			res.WaitMax = w
+		}
+	}
+	if r.hopDen > 0 {
+		res.HopsAvg = r.hopNum / r.hopDen
+	}
+
+	if opt.OutputEverySteps > 0 {
+		res.IOTime = r.ioTime(cfg, rects) / float64(opt.OutputEverySteps)
+	}
+	return res, nil
+}
+
+// allocate partitions a w x h processor rectangle among the children.
+func allocate(children []*nest.Domain, w, h int, opt *Options) ([]alloc.Rect, error) {
+	switch opt.Alloc {
+	case AllocEqual:
+		return alloc.EqualSplit(len(children), w, h)
+	case AllocNaivePoints:
+		weights := make([]float64, len(children))
+		for i, c := range children {
+			weights[i] = float64(c.Points())
+		}
+		return alloc.NaiveStrips(weights, w, h)
+	case AllocStripsPredicted:
+		if opt.Predictor == nil {
+			p, err := TrainPredictor(opt.Machine)
+			if err != nil {
+				return nil, err
+			}
+			opt.Predictor = p
+		}
+		return alloc.NaiveStrips(opt.Predictor.Weights(children), w, h)
+	default: // AllocPredicted
+		if len(opt.FixedWeights) == len(children) {
+			return alloc.Partition(opt.FixedWeights, w, h)
+		}
+		if opt.Predictor == nil {
+			p, err := TrainPredictor(opt.Machine)
+			if err != nil {
+				return nil, err
+			}
+			opt.Predictor = p
+		}
+		return alloc.Partition(opt.Predictor.Weights(children), w, h)
+	}
+}
+
+// buildMapping constructs the requested rank-to-torus mapping. The
+// partition mapping needs the first-level partitions; when they are
+// absent (sequential strategy) it falls back to the oblivious mapping,
+// which is what the unpartitioned default run uses anyway.
+func buildMapping(kind MapKind, g vtopo.Grid, tor torus.Torus, rects []alloc.Rect, m machine.Machine) (*mapping.Mapping, error) {
+	switch kind {
+	case MapTXYZ:
+		return mapping.TXYZ(g, tor, m.CoresPerNode)
+	case MapMultiLevel:
+		return mapping.MultiLevel(g, tor)
+	case MapPartition:
+		if len(rects) == 0 {
+			return mapping.Sequential(g, tor)
+		}
+		return mapping.PartitionMapping(g, tor, rects)
+	default:
+		return mapping.Sequential(g, tor)
+	}
+}
+
+// domainIter returns the duration of one step of domain d on subgrid
+// sg, including the nested phases of its children, and the per-sibling
+// metrics for d's immediate children. rects, when non-nil, are the
+// precomputed partitions for d's children (only used at the top level
+// of the concurrent strategy; deeper levels allocate on the fly).
+// mult is the number of times this step executes per parent iteration,
+// used to accumulate per-rank wait times correctly across nesting
+// levels.
+// costs evaluates a phase under the run's contention setting.
+func (r *run) costs(placements []model.Placement) []model.StepCost {
+	if r.opt.NoContention {
+		return model.PhaseCostsNoContention(r.opt.Machine, r.mp, placements)
+	}
+	return model.PhaseCosts(r.opt.Machine, r.mp, placements)
+}
+
+func (r *run) domainIter(d *nest.Domain, sg vtopo.Subgrid, rects []alloc.Rect, mult float64) (float64, []DomainMetrics, error) {
+	own := r.costs([]model.Placement{{D: d, SG: sg}})[0]
+	r.account(sg, mult, own)
+	t := own.Time()
+	if len(d.Children) == 0 {
+		return t, nil, nil
+	}
+
+	var sibs []DomainMetrics
+	switch r.opt.Strategy {
+	case Sequential:
+		for _, c := range d.Children {
+			step, _, err := r.domainIter(c, sg, nil, mult*float64(c.Ratio))
+			if err != nil {
+				return 0, nil, err
+			}
+			// The sub-steps repeat Ratio times; coupling happens once per
+			// parent step.
+			couple := model.CouplingCost(r.opt.Machine, c, sg.Size())
+			phase := float64(c.Ratio)*step + couple
+			t += phase
+			sibs = append(sibs, DomainMetrics{
+				Name:      c.Name,
+				Ranks:     sg.Size(),
+				StepTime:  step,
+				PhaseTime: phase,
+				Rect:      sg.Rect,
+			})
+		}
+	case Concurrent:
+		var err error
+		if rects == nil {
+			rects, err = allocate(d.Children, sg.Rect.W, sg.Rect.H, &r.opt)
+			if err != nil {
+				return 0, nil, err
+			}
+			// Deeper-level rects are relative to the subgrid.
+			for i := range rects {
+				rects[i].X += sg.Rect.X
+				rects[i].Y += sg.Rect.Y
+			}
+		}
+		placements := make([]model.Placement, len(d.Children))
+		subgrids := make([]vtopo.Subgrid, len(d.Children))
+		for i, c := range d.Children {
+			csg, err := vtopo.NewSubgrid(sg.Parent, rects[i])
+			if err != nil {
+				return 0, nil, err
+			}
+			subgrids[i] = csg
+			placements[i] = model.Placement{D: c, SG: csg}
+		}
+		costs := r.costs(placements)
+		var longest float64
+		for i, c := range d.Children {
+			// One sub-step's communication occurs under full sibling
+			// contention; nested descendants recurse on the partition.
+			step := costs[i].Time()
+			r.account(subgrids[i], mult*float64(c.Ratio), costs[i])
+			if len(c.Children) > 0 {
+				inner, _, err := r.nestedExtra(c, subgrids[i], mult*float64(c.Ratio))
+				if err != nil {
+					return 0, nil, err
+				}
+				step += inner
+			}
+			couple := model.CouplingCost(r.opt.Machine, c, subgrids[i].Size())
+			phase := float64(c.Ratio)*step + couple
+			if phase > longest {
+				longest = phase
+			}
+			sibs = append(sibs, DomainMetrics{
+				Name:      c.Name,
+				Ranks:     subgrids[i].Size(),
+				StepTime:  step,
+				PhaseTime: phase,
+				Rect:      rects[i],
+			})
+		}
+		// Siblings run simultaneously; the parent resumes when the slowest
+		// finishes (the synchronization step of Section 3.2).
+		t += longest
+	}
+	return t, sibs, nil
+}
+
+// nestedExtra returns the extra per-step time a domain spends driving
+// its own children (used when the domain itself already has a phase
+// cost computed as part of a sibling phase).
+func (r *run) nestedExtra(d *nest.Domain, sg vtopo.Subgrid, mult float64) (float64, []DomainMetrics, error) {
+	total, sibs, err := r.domainIter(d, sg, nil, mult)
+	if err != nil {
+		return 0, nil, err
+	}
+	// domainIter includes d's own step cost; subtract it since the
+	// caller already accounted for it.
+	own := r.costs([]model.Placement{{D: d, SG: sg}})[0]
+	extra := total - own.Time()
+	// Remove the double-counted own-step wait.
+	r.unaccount(sg, mult, own)
+	if extra < 0 {
+		extra = 0
+	}
+	return extra, sibs, nil
+}
+
+// account accrues wait times and hop statistics for the ranks of sg
+// executing `steps` sub-steps with the given cost.
+func (r *run) account(sg vtopo.Subgrid, steps float64, c model.StepCost) {
+	for _, rank := range sg.Ranks() {
+		r.waitAvg[rank] += steps * c.CommAvg
+		r.waitMax[rank] += steps * c.CommMax
+	}
+	w := steps * float64(c.Ranks)
+	r.hopNum += c.HopsAvg * w
+	r.hopDen += w
+}
+
+func (r *run) unaccount(sg vtopo.Subgrid, steps float64, c model.StepCost) {
+	for _, rank := range sg.Ranks() {
+		r.waitAvg[rank] -= steps * c.CommAvg
+		r.waitMax[rank] -= steps * c.CommMax
+	}
+	w := steps * float64(c.Ranks)
+	r.hopNum -= c.HopsAvg * w
+	r.hopDen -= w
+}
+
+// ioTime returns the cost of one output event: every domain writes a
+// forecast file. In the sequential strategy all ranks write every file
+// in turn; in the concurrent strategy each sibling's partition writes
+// its file, and sibling files are written simultaneously.
+func (r *run) ioTime(cfg *nest.Domain, rects []alloc.Rect) float64 {
+	p := r.opt.Machine.IO
+	mode := r.opt.IOMode
+	parentBytes := float64(cfg.Points()) * OutputBytesPerPoint
+	t := p.WriteTime(mode, r.opt.Ranks, parentBytes)
+	if r.opt.Strategy == Sequential || rects == nil {
+		cfg.Walk(func(d *nest.Domain) {
+			if d == cfg {
+				return
+			}
+			t += p.WriteTime(mode, r.opt.Ranks, float64(d.Points())*OutputBytesPerPoint)
+		})
+		return t
+	}
+	// Concurrent: sibling subtrees write in parallel on their partitions.
+	var slowest float64
+	for i, c := range cfg.Children {
+		writers := rects[i].Area()
+		var sub float64
+		c.Walk(func(d *nest.Domain) {
+			sub += p.WriteTime(mode, writers, float64(d.Points())*OutputBytesPerPoint)
+		})
+		if sub > slowest {
+			slowest = sub
+		}
+	}
+	return t + slowest
+}

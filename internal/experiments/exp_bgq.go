@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nestwrf/internal/machine"
+	"nestwrf/internal/torus5"
+)
+
+func init() {
+	register("bgq", "Future work: generalized fold on the 5D torus of Blue Gene/Q (Section 6)", bgq)
+}
+
+// bgq evaluates the generalized reflected-mixed-radix fold on BG/Q
+// style 5D core-tori: the paper's future-work mapping, implemented.
+func bgq() (*Table, error) {
+	t := &Table{
+		ID:     "bgq",
+		Title:  "2D process grids folded onto 5D BG/Q tori: average/maximum neighbour hops",
+		Header: []string{"cores", "grid", "torus (A,B,C,D,E)", "oblivious avg", "oblivious max", "fold avg", "fold max"},
+	}
+	for _, cores := range []int{512, 2048, 8192, 16384} {
+		tor, err := torus5.BGQTorusFor(cores)
+		if err != nil {
+			return nil, err
+		}
+		g, err := machine.GridFor(cores)
+		if err != nil {
+			return nil, err
+		}
+		xdims, err := torus5.SplitFor(g, tor)
+		if err != nil {
+			return nil, err
+		}
+		fold, err := torus5.Fold(g, tor, xdims)
+		if err != nil {
+			return nil, err
+		}
+		obl, err := torus5.Oblivious(g, tor)
+		if err != nil {
+			return nil, err
+		}
+		pairs := g.NeighborPairs()
+		t.AddRow(
+			fmt.Sprintf("%d", cores),
+			fmt.Sprintf("%dx%d", g.Px, g.Py),
+			fmt.Sprintf("%v", tor.Dims),
+			f(torus5.AvgHops(obl, pairs), 2),
+			fmt.Sprintf("%d", torus5.MaxHops(obl, pairs)),
+			f(torus5.AvgHops(fold, pairs), 2),
+			fmt.Sprintf("%d", torus5.MaxHops(fold, pairs)),
+		)
+	}
+	t.AddNote("the reflected mixed-radix fold generalizes the multi-level mapping of Section 3.3.2 to any torus dimensionality: every neighbouring rank pair — of the parent and of every sibling partition — lands exactly 1 hop apart")
+	return t, nil
+}

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"nestwrf/internal/alloc"
+	"nestwrf/internal/driver"
+	"nestwrf/internal/machine"
+	"nestwrf/internal/mapping"
+	"nestwrf/internal/model"
+	"nestwrf/internal/nest"
+	"nestwrf/internal/predict"
+	"nestwrf/internal/vtopo"
+	"nestwrf/internal/workload"
+)
+
+func init() {
+	register("fig2", "WRF scalability with a subdomain on BG/L (286x307 parent + 415x445 nest)", fig2)
+	register("predict", "Performance-prediction accuracy: interpolation vs naive models (Section 3.1)", predictExp)
+	register("fig3", "Processor-space partitions in the ratio 0.15:0.3:0.35:0.2 (Fig. 3b)", fig3)
+	register("fig4", "Partitioning along the longer vs shorter dimension, k=3 (Fig. 4)", fig4)
+	register("fig56", "2D-to-3D mappings of 32 ranks on a 4x4x2 torus (Figs. 5-6)", fig56)
+}
+
+// fig2 sweeps the processor count for the Fig. 2 configuration under
+// the default strategy and reports per-iteration times.
+func fig2() (*Table, error) {
+	t := &Table{
+		ID:     "fig2",
+		Title:  "Execution time per iteration vs processors (default sequential strategy)",
+		Header: []string{"procs", "iter time (s)", "speedup vs 64", "parallel efficiency"},
+	}
+	cfg := workload.Fig2Config()
+	m := machine.BGL()
+	var t64 float64
+	var prev float64
+	for _, ranks := range []int{64, 128, 256, 512, 1024} {
+		opt, err := baseOptions(m, ranks, driver.Sequential, driver.MapSequential)
+		if err != nil {
+			return nil, err
+		}
+		res, err := driver.Run(cfg, opt)
+		if err != nil {
+			return nil, err
+		}
+		if ranks == 64 {
+			t64 = res.IterTime
+		}
+		speedup := t64 / res.IterTime
+		eff := speedup * 64 / float64(ranks)
+		t.AddRow(fmt.Sprintf("%d", ranks), f(res.IterTime, 3), f(speedup, 2), f(eff, 2))
+		if ranks == 1024 {
+			gain := prev / res.IterTime
+			t.AddNote("512 -> 1024 gain: %.2fx — the diminishing returns the paper calls saturation around 512 processors", gain)
+		}
+		prev = res.IterTime
+	}
+	t.AddNote("paper: 'performance of WRF involving a subdomain saturates at about 512 processors' (Fig. 2)")
+	return t, nil
+}
+
+// predictExp reproduces the Section 3.1 accuracy comparison.
+func predictExp() (*Table, error) {
+	t := &Table{
+		ID:     "predict",
+		Title:  "Worst relative prediction error over test domains",
+		Header: []string{"model", "worst error", "paper"},
+	}
+	// Profiling on 256 processors: at this scale the fixed per-step
+	// costs are a substantial share of the sub-step time, which is what
+	// defeats the points-proportional model (paper: >19% error).
+	m := machine.BGL()
+	g, err := machine.GridFor(256)
+	if err != nil {
+		return nil, err
+	}
+	tor, err := machine.TorusFor(256)
+	if err != nil {
+		return nil, err
+	}
+	mp, err := mapping.Sequential(g, tor)
+	if err != nil {
+		return nil, err
+	}
+	truth := func(nx, ny int) float64 {
+		return model.SingleDomainStep(m, mp, nest.Root("probe", nx, ny)).Time()
+	}
+	samples := predict.Profile(predict.DefaultBasis(), truth)
+	interp, err := predict.Fit(samples)
+	if err != nil {
+		return nil, err
+	}
+	prop, err := predict.FitProportional(samples)
+	if err != nil {
+		return nil, err
+	}
+	lin, err := predict.FitLinear(samples)
+	if err != nil {
+		return nil, err
+	}
+
+	// The paper's test set: 55,900-94,990 points, aspect 0.5-1.5.
+	rng := rand.New(rand.NewSource(2012))
+	var wInterp, wProp, wLin float64
+	for trial := 0; trial < 200; trial++ {
+		points := 55900 + rng.Float64()*(94990-55900)
+		aspect := 0.5 + rng.Float64()
+		nx := int(math.Round(math.Sqrt(points * aspect)))
+		ny := int(math.Round(float64(nx) / aspect))
+		tv := truth(nx, ny)
+		p := float64(nx * ny)
+		wInterp = math.Max(wInterp, predict.RelErr(interp.Predict(float64(nx)/float64(ny), p), tv))
+		wProp = math.Max(wProp, predict.RelErr(prop.Predict(p), tv))
+		wLin = math.Max(wLin, predict.RelErr(lin.Predict(p), tv))
+	}
+	t.AddRow("Delaunay interpolation (ours)", pct(wInterp*100), "< 6%")
+	t.AddRow("proportional to points (naive)", pct(wProp*100), "> 19%")
+	t.AddRow("univariate linear", pct(wLin*100), "-")
+	t.AddNote("200 random test domains, 55,900-94,990 points, aspect 0.5-1.5 (the paper's test ranges)")
+	return t, nil
+}
+
+// fig3 partitions a 32x32 grid in the paper's illustrated ratios.
+func fig3() (*Table, error) {
+	t := &Table{
+		ID:     "fig3",
+		Title:  "Algorithm 1 partitions of a 32x32 processor grid",
+		Header: []string{"sibling", "weight", "partition", "procs", "share", "squareness"},
+	}
+	weights := []float64{0.15, 0.3, 0.35, 0.2}
+	rects, err := alloc.Partition(weights, 32, 32)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rects {
+		t.AddRow(
+			fmt.Sprintf("%d", i+1),
+			f(weights[i], 2),
+			r.String(),
+			fmt.Sprintf("%d", r.Area()),
+			pct(100*float64(r.Area())/1024),
+			f(r.Squareness(), 2),
+		)
+	}
+	if err := alloc.Validate(rects, 32, 32); err != nil {
+		return nil, err
+	}
+	t.AddNote("partitions tile the grid exactly; areas proportional to the predicted execution-time ratios (max deviation %.1f%%)",
+		100*alloc.ProportionalityError(rects, weights))
+	return t, nil
+}
+
+// fig4 contrasts longer-dimension with shorter-dimension first splits.
+func fig4() (*Table, error) {
+	t := &Table{
+		ID:     "fig4",
+		Title:  "Average partition squareness: first split along longer vs shorter dimension",
+		Header: []string{"strategy", "avg squareness", "min squareness"},
+	}
+	weights := []float64{1, 1, 1}
+	// Longer-dimension split (Algorithm 1) on a 32x16 grid.
+	long, err := alloc.Partition(weights, 32, 16)
+	if err != nil {
+		return nil, err
+	}
+	// Shorter-dimension-first strawman (Fig. 4(b)).
+	short, err := alloc.PartitionShorterFirst(weights, 32, 16)
+	if err != nil {
+		return nil, err
+	}
+	avgMin := func(rects []alloc.Rect) (avg, mn float64) {
+		mn = 1
+		for _, r := range rects {
+			s := r.Squareness()
+			avg += s
+			if s < mn {
+				mn = s
+			}
+		}
+		return avg / float64(len(rects)), mn
+	}
+	a1, m1 := avgMin(long)
+	a2, m2 := avgMin(short)
+	t.AddRow("longer dimension first (Alg. 1)", f(a1, 2), f(m1, 2))
+	t.AddRow("shorter dimension first", f(a2, 2), f(m2, 2))
+	t.AddNote("the paper's Fig. 4: splitting along the longer dimension keeps rectangles square-like, minimizing the X/Y communication-volume imbalance")
+	return t, nil
+}
+
+// fig56 reproduces the mapping example of Figs. 5 and 6.
+func fig56() (*Table, error) {
+	t := &Table{
+		ID:     "fig56",
+		Title:  "Hop statistics for 32 ranks (8x4 grid, two 4x4 siblings) on a 4x4x2 torus",
+		Header: []string{"mapping", "parent avg hops", "sib1 avg", "sib2 avg", "overall avg", "parent max"},
+	}
+	g, err := vtopo.NewGrid(8, 4)
+	if err != nil {
+		return nil, err
+	}
+	tor, err := machine.TorusFor(32)
+	if err != nil {
+		return nil, err
+	}
+	rects := []alloc.Rect{{X: 0, Y: 0, W: 4, H: 4}, {X: 4, Y: 0, W: 4, H: 4}}
+	maps := []struct {
+		name  string
+		build func() (*mapping.Mapping, error)
+	}{
+		{"oblivious (Fig. 5b)", func() (*mapping.Mapping, error) { return mapping.Sequential(g, tor) }},
+		{"TXYZ", func() (*mapping.Mapping, error) { return mapping.TXYZ(g, tor, 2) }},
+		{"partition (Fig. 6a)", func() (*mapping.Mapping, error) { return mapping.PartitionMapping(g, tor, rects) }},
+		{"multi-level (Fig. 6b)", func() (*mapping.Mapping, error) { return mapping.MultiLevel(g, tor) }},
+	}
+	for _, mk := range maps {
+		mp, err := mk.build()
+		if err != nil {
+			return nil, err
+		}
+		rep, err := mapping.Analyze(mp, rects)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(mk.name,
+			f(rep.ParentAvg, 2), f(rep.SiblingAvg[0], 2), f(rep.SiblingAvg[1], 2),
+			f(rep.OverallAvg, 2), fmt.Sprintf("%d", rep.ParentMax))
+	}
+	t.AddNote("paper: oblivious mapping puts 2D neighbours 2-3 hops apart; partition mapping makes sibling neighbours 1 hop; multi-level folding also keeps parent neighbours 1 hop")
+	return t, nil
+}

@@ -1,0 +1,205 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section 4) on the virtual-time simulator. Each
+// experiment is registered under the paper artifact's identifier
+// (fig2, tab1, tab2fig9, ...) and produces a Table whose rows mirror
+// the series the paper reports, alongside the paper's own numbers
+// where the text quotes them.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"nestwrf/internal/driver"
+	"nestwrf/internal/machine"
+	"nestwrf/internal/predict"
+)
+
+// Table is one experiment's result in printable form.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a free-form note line.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s: %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	if len(t.Notes) > 0 {
+		b.WriteByte('\n')
+		for _, n := range t.Notes {
+			fmt.Fprintf(&b, "*%s*\n\n", n)
+		}
+	}
+	return b.String()
+}
+
+// Experiment is a registered experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() (*Table, error)
+}
+
+var registry []Experiment
+
+func register(id, title string, run func() (*Table, error)) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// canonicalOrder lists the experiment ids in the paper's presentation
+// order, followed by the beyond-the-paper additions.
+var canonicalOrder = []string{
+	"fig2", "predict", "fig3", "fig4", "fig56",
+	"periter", "fig8", "tab1", "tab2fig9", "fig10", "nsib", "tab3",
+	"tab4fig11", "tab5fig12", "fig1314", "alloceff", "fig15", "seasia",
+	"abl-contention", "abl-shape", "abl-exchanges", "bgq", "campaign", "steer",
+}
+
+// All returns the registered experiments in the paper's presentation
+// order (unknown ids follow in registration order).
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	rank := map[string]int{}
+	for i, id := range canonicalOrder {
+		rank[id] = i
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		ri, iok := rank[out[i].ID]
+		rj, jok := rank[out[j].ID]
+		if iok && jok {
+			return ri < rj
+		}
+		return iok && !jok
+	})
+	return out
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs lists the registered experiment ids.
+func IDs() []string {
+	ids := make([]string, len(registry))
+	for i, e := range registry {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// predictors are trained once per machine and shared across
+// experiments (the paper's 13 profiling runs are likewise done once).
+var (
+	predMu    sync.Mutex
+	predCache = map[string]*predict.Model{}
+)
+
+func predictorFor(m machine.Machine) (*predict.Model, error) {
+	predMu.Lock()
+	defer predMu.Unlock()
+	if p, ok := predCache[m.Name]; ok {
+		return p, nil
+	}
+	p, err := driver.TrainPredictor(m)
+	if err != nil {
+		return nil, err
+	}
+	predCache[m.Name] = p
+	return p, nil
+}
+
+// baseOptions builds run options with the shared predictor.
+func baseOptions(m machine.Machine, ranks int, strategy driver.Strategy, kind driver.MapKind) (driver.Options, error) {
+	p, err := predictorFor(m)
+	if err != nil {
+		return driver.Options{}, err
+	}
+	return driver.Options{
+		Machine:   m,
+		Ranks:     ranks,
+		Strategy:  strategy,
+		MapKind:   kind,
+		Alloc:     driver.AllocPredicted,
+		Predictor: p,
+	}, nil
+}
+
+func f(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", v) }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

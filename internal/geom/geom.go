@@ -1,0 +1,162 @@
+// Package geom provides the 2D computational-geometry substrate used by
+// the performance-prediction model of Malakar et al. (SC 2012): robust
+// orientation and in-circle predicates, convex hulls, Delaunay
+// triangulations and barycentric interpolation.
+//
+// Points live in the (aspect-ratio, total-points) feature plane of the
+// paper's Section 3.1, but the package is fully general.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a point in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for constructing a Point.
+func Pt(x, y float64) Point { return Point{x, y} }
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Dot returns the dot product of p and q viewed as vectors.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z-component of the cross product p × q.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// Dist2 returns the squared Euclidean distance between p and q.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%g, %g)", p.X, p.Y) }
+
+// Orientation classifies the turn formed by three points.
+type Orientation int
+
+// Turn directions returned by Orient.
+const (
+	Clockwise        Orientation = -1
+	Collinear        Orientation = 0
+	CounterClockwise Orientation = 1
+)
+
+// orientEps bounds the relative rounding error of the 2x2 determinant
+// used by Orient. Determinants smaller than the scaled epsilon are
+// treated as zero so that nearly-collinear inputs are classified
+// deterministically.
+const orientEps = 1e-12
+
+// Orient returns the orientation of the triangle (a, b, c):
+// CounterClockwise if the points make a left turn, Clockwise for a
+// right turn, and Collinear if the signed area is (numerically) zero.
+func Orient(a, b, c Point) Orientation {
+	det := (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+	// Scale tolerance by the magnitude of the inputs so the predicate is
+	// stable for both tiny and huge coordinates.
+	scale := math.Abs((b.X-a.X)*(c.Y-a.Y)) + math.Abs((b.Y-a.Y)*(c.X-a.X))
+	if math.Abs(det) <= orientEps*scale {
+		return Collinear
+	}
+	if det > 0 {
+		return CounterClockwise
+	}
+	return Clockwise
+}
+
+// SignedArea returns the signed area of triangle (a, b, c). The result
+// is positive when the vertices are in counter-clockwise order.
+func SignedArea(a, b, c Point) float64 {
+	return 0.5 * ((b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X))
+}
+
+// InCircle reports whether point d lies strictly inside the
+// circumcircle of the counter-clockwise triangle (a, b, c).
+func InCircle(a, b, c, d Point) bool {
+	// Translate so d is the origin; the predicate is the sign of a 3x3
+	// determinant.
+	ax, ay := a.X-d.X, a.Y-d.Y
+	bx, by := b.X-d.X, b.Y-d.Y
+	cx, cy := c.X-d.X, c.Y-d.Y
+
+	al := ax*ax + ay*ay
+	bl := bx*bx + by*by
+	cl := cx*cx + cy*cy
+
+	det := al*(bx*cy-by*cx) - bl*(ax*cy-ay*cx) + cl*(ax*by-ay*bx)
+	scale := math.Abs(al*(bx*cy)) + math.Abs(al*(by*cx)) +
+		math.Abs(bl*(ax*cy)) + math.Abs(bl*(ay*cx)) +
+		math.Abs(cl*(ax*by)) + math.Abs(cl*(ay*bx))
+	if math.Abs(det) <= orientEps*scale {
+		return false // on or numerically on the circle: not strictly inside
+	}
+	return det > 0
+}
+
+// Circumcenter returns the circumcenter of triangle (a, b, c) and the
+// squared circumradius. ok is false for (nearly) degenerate triangles.
+func Circumcenter(a, b, c Point) (center Point, r2 float64, ok bool) {
+	d := 2 * ((a.X)*(b.Y-c.Y) + (b.X)*(c.Y-a.Y) + (c.X)*(a.Y-b.Y))
+	if math.Abs(d) < 1e-300 {
+		return Point{}, 0, false
+	}
+	al := a.X*a.X + a.Y*a.Y
+	bl := b.X*b.X + b.Y*b.Y
+	cl := c.X*c.X + c.Y*c.Y
+	ux := (al*(b.Y-c.Y) + bl*(c.Y-a.Y) + cl*(a.Y-b.Y)) / d
+	uy := (al*(c.X-b.X) + bl*(a.X-c.X) + cl*(b.X-a.X)) / d
+	center = Point{ux, uy}
+	return center, center.Dist2(a), true
+}
+
+// BBox is an axis-aligned bounding box.
+type BBox struct {
+	Min, Max Point
+}
+
+// Bounds returns the bounding box of pts. It panics if pts is empty.
+func Bounds(pts []Point) BBox {
+	if len(pts) == 0 {
+		panic("geom: Bounds of empty point set")
+	}
+	bb := BBox{Min: pts[0], Max: pts[0]}
+	for _, p := range pts[1:] {
+		bb.Min.X = math.Min(bb.Min.X, p.X)
+		bb.Min.Y = math.Min(bb.Min.Y, p.Y)
+		bb.Max.X = math.Max(bb.Max.X, p.X)
+		bb.Max.Y = math.Max(bb.Max.Y, p.Y)
+	}
+	return bb
+}
+
+// Width returns the x extent of the box.
+func (b BBox) Width() float64 { return b.Max.X - b.Min.X }
+
+// Height returns the y extent of the box.
+func (b BBox) Height() float64 { return b.Max.Y - b.Min.Y }
+
+// Center returns the center of the box.
+func (b BBox) Center() Point {
+	return Point{(b.Min.X + b.Max.X) / 2, (b.Min.Y + b.Max.Y) / 2}
+}
+
+// Contains reports whether p lies inside or on the boundary of b.
+func (b BBox) Contains(p Point) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X && p.Y >= b.Min.Y && p.Y <= b.Max.Y
+}

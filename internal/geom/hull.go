@@ -1,0 +1,97 @@
+package geom
+
+import "sort"
+
+// ConvexHull returns the convex hull of pts in counter-clockwise order
+// using Andrew's monotone-chain algorithm. Collinear points on hull
+// edges are dropped. The input slice is not modified. Degenerate inputs
+// (fewer than three non-collinear points) return the distinct extreme
+// points in sorted order.
+func ConvexHull(pts []Point) []Point {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	sorted := make([]Point, n)
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].X != sorted[j].X {
+			return sorted[i].X < sorted[j].X
+		}
+		return sorted[i].Y < sorted[j].Y
+	})
+	// Deduplicate.
+	uniq := sorted[:1]
+	for _, p := range sorted[1:] {
+		if p != uniq[len(uniq)-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	if len(uniq) < 3 {
+		out := make([]Point, len(uniq))
+		copy(out, uniq)
+		return out
+	}
+
+	hull := make([]Point, 0, 2*len(uniq))
+	// Lower hull.
+	for _, p := range uniq {
+		for len(hull) >= 2 && Orient(hull[len(hull)-2], hull[len(hull)-1], p) != CounterClockwise {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Upper hull.
+	lower := len(hull) + 1
+	for i := len(uniq) - 2; i >= 0; i-- {
+		p := uniq[i]
+		for len(hull) >= lower && Orient(hull[len(hull)-2], hull[len(hull)-1], p) != CounterClockwise {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return hull[:len(hull)-1] // last point equals the first
+}
+
+// InConvexPolygon reports whether p lies inside or on the boundary of
+// the convex polygon poly given in counter-clockwise order.
+func InConvexPolygon(p Point, poly []Point) bool {
+	n := len(poly)
+	switch n {
+	case 0:
+		return false
+	case 1:
+		return p == poly[0]
+	case 2:
+		// On-segment test.
+		if Orient(poly[0], poly[1], p) != Collinear {
+			return false
+		}
+		bb := Bounds(poly)
+		return bb.Contains(p)
+	}
+	for i := 0; i < n; i++ {
+		a, b := poly[i], poly[(i+1)%n]
+		if Orient(a, b, p) == Clockwise {
+			return false
+		}
+	}
+	return true
+}
+
+// PolygonArea returns the (positive) area of a simple polygon.
+func PolygonArea(poly []Point) float64 {
+	n := len(poly)
+	if n < 3 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		sum += poly[i].Cross(poly[j])
+	}
+	if sum < 0 {
+		sum = -sum
+	}
+	return sum / 2
+}

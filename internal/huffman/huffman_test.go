@@ -1,0 +1,219 @@
+package huffman
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil); !errors.Is(err, ErrNoWeights) {
+		t.Errorf("empty: err = %v, want ErrNoWeights", err)
+	}
+	if _, err := Build([]float64{1, -2}); err == nil {
+		t.Error("negative weight should fail")
+	}
+}
+
+func TestBuildSingleLeaf(t *testing.T) {
+	root, err := Build([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !root.Leaf() || root.Index != 0 || root.Weight != 5 {
+		t.Errorf("single leaf root = %+v", root)
+	}
+	if Depth(root) != 0 {
+		t.Errorf("depth = %d", Depth(root))
+	}
+	if got := BFS(root); len(got) != 0 {
+		t.Errorf("BFS of leaf should have no internal nodes, got %d", len(got))
+	}
+}
+
+func TestBuildClassic(t *testing.T) {
+	// Classic example: weights 1,1,2,4. Optimal WPL = 1*3+1*3+2*2+4*1 = 14.
+	root, err := Build([]float64{1, 1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := WeightedPathLength(root); got != 14 {
+		t.Errorf("WPL = %v, want 14", got)
+	}
+	if root.Weight != 8 {
+		t.Errorf("root weight = %v, want 8", root.Weight)
+	}
+}
+
+func TestLeafIndicesCoverAllItems(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		w := make([]float64, len(raw))
+		for i, v := range raw {
+			w[i] = math.Abs(v)
+		}
+		root, err := Build(w)
+		if err != nil {
+			return false
+		}
+		idx := LeafIndices(root)
+		sort.Ints(idx)
+		want := make([]int, len(w))
+		for i := range want {
+			want[i] = i
+		}
+		return reflect.DeepEqual(idx, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInternalNodeCount(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = float64(i + 1)
+		}
+		root, err := Build(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(BFS(root)); got != n-1 {
+			t.Errorf("n=%d: internal nodes = %d, want %d", n, got, n-1)
+		}
+		if got := len(Leaves(root)); got != n {
+			t.Errorf("n=%d: leaves = %d, want %d", n, got, n)
+		}
+	}
+}
+
+func TestSubtreeWeightConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(20)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = rng.Float64() * 10
+		}
+		root, err := Build(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var check func(node *Node)
+		check = func(node *Node) {
+			if node == nil {
+				return
+			}
+			if got := SubtreeWeight(node); math.Abs(got-node.Weight) > 1e-9 {
+				t.Fatalf("node weight %v != subtree sum %v", node.Weight, got)
+			}
+			check(node.Left)
+			check(node.Right)
+		}
+		check(root)
+	}
+}
+
+func TestBFSOrderIsTopDown(t *testing.T) {
+	root, err := Build([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := BFS(root)
+	if nodes[0] != root {
+		t.Error("BFS must start at the root")
+	}
+	// Every node must appear after its parent.
+	pos := make(map[*Node]int)
+	for i, n := range nodes {
+		pos[n] = i
+	}
+	for _, n := range nodes {
+		for _, c := range []*Node{n.Left, n.Right} {
+			if c != nil && !c.Leaf() {
+				if pos[c] <= pos[n] {
+					t.Errorf("child appears before parent in BFS order")
+				}
+			}
+		}
+	}
+}
+
+// Huffman optimality: WPL must not exceed that of a balanced tree and
+// must equal the information-theoretic optimum for dyadic weights.
+func TestDyadicOptimality(t *testing.T) {
+	// Weights 1/2, 1/4, 1/8, 1/8 have optimal depths 1, 2, 3, 3.
+	root, err := Build([]float64{0.5, 0.25, 0.125, 0.125})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5*1 + 0.25*2 + 0.125*3 + 0.125*3
+	if got := WeightedPathLength(root); math.Abs(got-want) > 1e-12 {
+		t.Errorf("WPL = %v, want %v", got, want)
+	}
+}
+
+func TestEqualWeightsGiveBalancedTree(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = 1
+		}
+		root, err := Build(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantDepth := int(math.Log2(float64(n)))
+		if got := Depth(root); got != wantDepth {
+			t.Errorf("n=%d: depth = %d, want %d", n, got, wantDepth)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	w := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	a, err := Build(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameShape(a, b) {
+		t.Error("two builds of the same weights differ")
+	}
+}
+
+func sameShape(a, b *Node) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if a.Leaf() != b.Leaf() || a.Index != b.Index || a.Weight != b.Weight {
+		return false
+	}
+	return sameShape(a.Left, b.Left) && sameShape(a.Right, b.Right)
+}
+
+func TestZeroWeightsAllowed(t *testing.T) {
+	root, err := Build([]float64{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(Leaves(root)); got != 3 {
+		t.Errorf("leaves = %d, want 3", got)
+	}
+	if root.Weight != 1 {
+		t.Errorf("root weight = %v", root.Weight)
+	}
+}

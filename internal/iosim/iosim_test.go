@@ -1,0 +1,108 @@
+package iosim
+
+import (
+	"math"
+	"testing"
+)
+
+func params() Params {
+	return Params{
+		BaseLatency:         5e-3,
+		PerWriterOverhead:   3.5e-4,
+		AggregateBandwidth:  2e9,
+		PerProcessBandwidth: 8e6,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := params().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := params()
+	bad.AggregateBandwidth = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero aggregate bandwidth should fail")
+	}
+	bad = params()
+	bad.BaseLatency = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative latency should fail")
+	}
+}
+
+// The PnetCDF scalability problem of Fig. 13(b): for a fixed output
+// size, collective write time increases with the number of writers.
+func TestCollectiveTimeGrowsWithWriters(t *testing.T) {
+	p := params()
+	bytes := 100e6
+	prev := 0.0
+	for _, w := range []int{512, 1024, 2048, 4096, 8192} {
+		got := p.CollectiveWriteTime(w, bytes)
+		if got <= prev {
+			t.Errorf("writers=%d: time %v not increasing (prev %v)", w, got, prev)
+		}
+		prev = got
+	}
+}
+
+// The paper's fix: fewer ranks writing each sibling file means less
+// coordination. Four sibling files written by quarter-sized groups must
+// beat one group of all ranks writing them in sequence.
+func TestSubsetWritersBeatFullCommunicator(t *testing.T) {
+	p := params()
+	bytes := 50e6
+	full := 4 * p.CollectiveWriteTime(4096, bytes) // 4 files, all ranks each
+	// 4 files written concurrently by disjoint quarters: max of the four.
+	subset := p.CollectiveWriteTime(1024, bytes)
+	if subset >= full/2 {
+		t.Errorf("subset writers %v should be far below sequential full %v", subset, full)
+	}
+}
+
+func TestSplitWriteBandwidthCap(t *testing.T) {
+	p := params()
+	// 10 writers: 80 MB/s total, below the filesystem cap.
+	few := p.SplitWriteTime(10, 80e6)
+	wantFew := p.BaseLatency + 80e6/(10*p.PerProcessBandwidth)
+	if math.Abs(few-wantFew) > 1e-12 {
+		t.Errorf("few writers = %v, want %v", few, wantFew)
+	}
+	// 10^6 writers: capped by the aggregate filesystem bandwidth.
+	many := p.SplitWriteTime(1e6, 80e6)
+	wantMany := p.BaseLatency + 80e6/p.AggregateBandwidth
+	if math.Abs(many-wantMany) > 1e-12 {
+		t.Errorf("many writers = %v, want %v", many, wantMany)
+	}
+}
+
+func TestZeroWritersOrBytes(t *testing.T) {
+	p := params()
+	if p.CollectiveWriteTime(0, 100) != 0 {
+		t.Error("zero writers should cost 0")
+	}
+	if p.CollectiveWriteTime(10, 0) != 0 {
+		t.Error("zero bytes should cost 0")
+	}
+	if p.SplitWriteTime(0, 100) != 0 || p.SplitWriteTime(5, 0) != 0 {
+		t.Error("split zero cases should cost 0")
+	}
+}
+
+func TestWriteTimeDispatch(t *testing.T) {
+	p := params()
+	if p.WriteTime(Collective, 100, 1e6) != p.CollectiveWriteTime(100, 1e6) {
+		t.Error("Collective dispatch wrong")
+	}
+	if p.WriteTime(Split, 100, 1e6) != p.SplitWriteTime(100, 1e6) {
+		t.Error("Split dispatch wrong")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Collective.String() != "pnetcdf" || Split.String() != "split" {
+		t.Error("mode strings wrong")
+	}
+	if Mode(7).String() != "Mode(7)" {
+		t.Error("unknown mode string wrong")
+	}
+}

@@ -1,0 +1,39 @@
+package mapping
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderPlanes draws the mapping as one rank-number grid per torus
+// z-plane, the textual counterpart of the paper's Figs. 5(b) and 6.
+// Intended for small illustrative tori; larger mappings render but get
+// wide.
+func (m *Mapping) RenderPlanes() string {
+	width := len(fmt.Sprintf("%d", m.Grid.Size()-1))
+	// Invert the mapping: torus node -> rank.
+	rankAt := make(map[[3]int]int, m.Grid.Size())
+	for r := 0; r < m.Grid.Size(); r++ {
+		c := m.NodeOf(r)
+		rankAt[[3]int{c.X, c.Y, c.Z}] = r
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "mapping %q on %dx%dx%d torus\n", m.Name, m.Torus.X, m.Torus.Y, m.Torus.Z)
+	for z := 0; z < m.Torus.Z; z++ {
+		fmt.Fprintf(&b, "z=%d\n", z)
+		for y := 0; y < m.Torus.Y; y++ {
+			for x := 0; x < m.Torus.X; x++ {
+				if x > 0 {
+					b.WriteByte(' ')
+				}
+				if r, ok := rankAt[[3]int{x, y, z}]; ok {
+					fmt.Fprintf(&b, "%*d", width, r)
+				} else {
+					fmt.Fprintf(&b, "%*s", width, "-")
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package model
+
+import (
+	"testing"
+
+	"nestwrf/internal/alloc"
+	"nestwrf/internal/machine"
+	"nestwrf/internal/mapping"
+	"nestwrf/internal/nest"
+)
+
+// Calibration anchors from the paper. These tests pin the model's
+// absolute scale to the published measurements within generous bands;
+// all comparative experiments depend only on relative behaviour, but
+// keeping the absolute scale close makes the reproduced tables directly
+// comparable with the paper's.
+
+// Fig. 9 / Table 2: sibling 1 (394x418) takes about 0.4 s per nest
+// sub-step on all 1024 BG/L cores and about 0.7 s on its 18x24 = 432
+// core partition.
+func TestCalibrationFig9Anchors(t *testing.T) {
+	g, _ := machine.GridFor(1024)
+	tor, _ := machine.TorusFor(1024)
+	mp, err := mapping.Sequential(g, tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.BGL()
+	d := nest.Root("sib1", 394, 418)
+
+	full := SingleDomainStep(m, mp, d)
+	t.Logf("full 1024: compute=%.3f commMax=%.3f commAvg=%.3f time=%.3f hops=%.2f",
+		full.Compute, full.CommMax, full.CommAvg, full.Time(), full.HopsAvg)
+	if full.Time() < 0.25 || full.Time() > 0.55 {
+		t.Errorf("sibling sub-step on 1024 cores = %.3f s, want ~0.4 (0.25-0.55)", full.Time())
+	}
+
+	sg, err := alloc.Partition([]float64{432, 592}, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("partition rects: %v", sg)
+	sub := subgrid(t, mp.Grid, sg[0])
+	part := PhaseCosts(m, mp, []Placement{{D: d, SG: sub}})[0]
+	t.Logf("partition %d ranks: compute=%.3f commMax=%.3f time=%.3f",
+		part.Ranks, part.Compute, part.CommMax, part.Time())
+	if part.Time() < 0.45 || part.Time() > 0.95 {
+		t.Errorf("sibling sub-step on ~432 cores = %.3f s, want ~0.7 (0.45-0.95)", part.Time())
+	}
+}
+
+// Fig. 2 shape: diminishing returns for the 286x307 parent with a
+// 415x445 nest on BG/L. Efficiency from 512 to 1024 cores must be well
+// below ideal.
+func TestCalibrationFig2Shape(t *testing.T) {
+	m := machine.BGL()
+	parent := nest.Root("parent", 286, 307)
+	child := parent.AddChild("nest", 415, 445, 3, 50, 50)
+	var t512, t1024 float64
+	for _, ranks := range []int{64, 128, 256, 512, 1024} {
+		g, _ := machine.GridFor(ranks)
+		tor, _ := machine.TorusFor(ranks)
+		mp, err := mapping.Sequential(g, tor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := SingleDomainStep(m, mp, parent)
+		c := SingleDomainStep(m, mp, child)
+		iter := p.Time() + 3*c.Time()
+		t.Logf("ranks=%4d iter=%.3f (parent %.3f, child step %.3f)", ranks, iter, p.Time(), c.Time())
+		switch ranks {
+		case 512:
+			t512 = iter
+		case 1024:
+			t1024 = iter
+		}
+	}
+	// The paper's own Table 2 / Fig. 9 numbers (0.7 s on 432 cores, 0.4 s
+	// on 1024) imply T = W/P + C with C ~ 0.18 s, i.e. a 512->1024 gain
+	// of ~1.55-1.6 for this domain — "saturation" in Fig. 2 is the
+	// visual flattening of that curve, not a hard plateau.
+	gain := t512 / t1024
+	t.Logf("512->1024 gain: %.3f", gain)
+	if gain > 1.65 {
+		t.Errorf("512->1024 gain %.2f: scaling should be clearly sub-linear by 512", gain)
+	}
+	if gain < 1.0 {
+		t.Errorf("512->1024 gain %.2f: should not lose absolute performance", gain)
+	}
+}

@@ -1,0 +1,179 @@
+// Package model is the virtual-time cost engine of the simulated WRF:
+// it computes per-sub-step computation and communication times for a
+// domain decomposed over a rectangular process grid, mapped onto a
+// torus, under static link contention from all concurrently executing
+// siblings. All experiment timings derive from this engine, so results
+// are deterministic and machine-independent; constants live in
+// internal/machine and are calibrated against the paper's anchor
+// numbers (see calibrate_test.go).
+package model
+
+import (
+	"math"
+
+	"nestwrf/internal/alloc"
+	"nestwrf/internal/machine"
+	"nestwrf/internal/mapping"
+	"nestwrf/internal/nest"
+	"nestwrf/internal/netsim"
+	"nestwrf/internal/vtopo"
+)
+
+// StepCost is the cost of one sub-step of one domain on its process
+// subgrid.
+type StepCost struct {
+	// Compute is the per-rank computation time (identical across ranks
+	// under balanced decomposition).
+	Compute float64
+	// CommMax is the worst per-rank communication time; Compute+CommMax
+	// governs the synchronized step duration.
+	CommMax float64
+	// CommAvg is the mean per-rank communication time, the model's
+	// per-rank MPI_Wait contribution.
+	CommAvg float64
+	// HopsAvg is the mean torus hop distance between communicating
+	// neighbour ranks.
+	HopsAvg float64
+	// Ranks is the number of ranks the domain ran on.
+	Ranks int
+}
+
+// Time returns the wall time of the synchronized sub-step.
+func (c StepCost) Time() float64 { return c.Compute + c.CommMax }
+
+// Placement binds a domain to the process subgrid it executes on.
+type Placement struct {
+	D  *nest.Domain
+	SG vtopo.Subgrid
+}
+
+// haloPairs returns the global-rank neighbour pairs of a placement.
+func haloPairs(p Placement) [][2]int {
+	local := p.SG.Grid()
+	pairs := local.NeighborPairs()
+	out := make([][2]int, len(pairs))
+	for i, pr := range pairs {
+		out[i] = [2]int{p.SG.GlobalRank(pr[0]), p.SG.GlobalRank(pr[1])}
+	}
+	return out
+}
+
+// PhaseCosts computes the StepCost of every placement executing
+// concurrently: link loads from all placements' halo exchanges are
+// accumulated first, then each placement's communication times are
+// evaluated under that contention. Passing a single placement models a
+// phase where only that domain communicates (the default sequential
+// strategy).
+func PhaseCosts(m machine.Machine, mp *mapping.Mapping, placements []Placement) []StepCost {
+	return phaseCosts(m, mp, placements, true)
+}
+
+// PhaseCostsNoContention evaluates the placements against an idle
+// network (every message sees full link bandwidth). It exists for the
+// contention ablation: comparing it with PhaseCosts isolates how much
+// of the communication time the link-sharing model contributes.
+func PhaseCostsNoContention(m machine.Machine, mp *mapping.Mapping, placements []Placement) []StepCost {
+	return phaseCosts(m, mp, placements, false)
+}
+
+func phaseCosts(m machine.Machine, mp *mapping.Mapping, placements []Placement, contention bool) []StepCost {
+	net, err := netsim.New(mp.Torus, m.Net)
+	if err != nil {
+		// Machine parameters are validated at construction; a failure here
+		// is a programming error.
+		panic(err)
+	}
+	if contention {
+		for _, p := range placements {
+			for _, pr := range haloPairs(p) {
+				net.AddFlow(mp.NodeOf(pr[0]), mp.NodeOf(pr[1]))
+				net.AddFlow(mp.NodeOf(pr[1]), mp.NodeOf(pr[0]))
+			}
+		}
+	}
+	out := make([]StepCost, len(placements))
+	for i, p := range placements {
+		out[i] = stepCost(m, mp, net, p)
+	}
+	return out
+}
+
+// stepCost evaluates one placement under the prepared network loads.
+func stepCost(m machine.Machine, mp *mapping.Mapping, net *netsim.Network, p Placement) StepCost {
+	local := p.SG.Grid()
+	w, h := local.Px, local.Py
+	lx := ceilDiv(p.D.NX, w)
+	ly := ceilDiv(p.D.NY, h)
+
+	cost := StepCost{
+		Compute: m.PointCost*float64(lx)*float64(ly) + m.StepOverhead,
+		Ranks:   local.Size(),
+	}
+
+	msgs := float64(m.ExchangesPerStep)
+	var commSum float64
+	var hopSum, hopCnt float64
+	for r := 0; r < local.Size(); r++ {
+		var commR float64
+		src := mp.NodeOf(p.SG.GlobalRank(r))
+		for d := vtopo.West; d <= vtopo.North; d++ {
+			nb := local.Neighbor(r, d)
+			if nb < 0 {
+				continue
+			}
+			dst := mp.NodeOf(p.SG.GlobalRank(nb))
+			edge := ly // east/west messages carry a column of the tile
+			if d == vtopo.South || d == vtopo.North {
+				edge = lx
+			}
+			bytes := float64(edge) * m.BytesPerPoint
+			perMsg := bytes / msgs
+			commR += msgs * net.TransferTime(src, dst, int(perMsg))
+			hopSum += float64(mp.Torus.Hops(src, dst))
+			hopCnt++
+		}
+		commSum += commR
+		if commR > cost.CommMax {
+			cost.CommMax = commR
+		}
+	}
+	cost.CommAvg = commSum / float64(local.Size())
+	if hopCnt > 0 {
+		cost.HopsAvg = hopSum / hopCnt
+	}
+	return cost
+}
+
+// SingleDomainStep computes the cost of one sub-step of a domain that
+// runs alone on the full process grid (the parent simulation, or a
+// sibling under the default sequential strategy).
+func SingleDomainStep(m machine.Machine, mp *mapping.Mapping, d *nest.Domain) StepCost {
+	full := vtopo.Subgrid{
+		Parent: mp.Grid,
+		Rect:   alloc.Rect{W: mp.Grid.Px, H: mp.Grid.Py},
+	}
+	return PhaseCosts(m, mp, []Placement{{D: d, SG: full}})[0]
+}
+
+// CouplingCost returns the per-parent-step cost of nesting
+// bookkeeping for a child domain: interpolating the lateral boundary
+// conditions from the parent and feeding the solution back. It is
+// proportional to the nest's boundary and interior shares per rank.
+func CouplingCost(m machine.Machine, d *nest.Domain, ranks int) float64 {
+	if ranks <= 0 {
+		return 0
+	}
+	boundary := float64(d.BoundaryPoints()) / float64(ranks)
+	feedback := float64(d.Points()) / float64(ranks) / float64(d.Ratio*d.Ratio)
+	return m.PointCost * 0.25 * (boundary + feedback)
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// Speedup returns t1/tp, guarding against division by zero.
+func Speedup(t1, tp float64) float64 {
+	if tp == 0 {
+		return math.Inf(1)
+	}
+	return t1 / tp
+}

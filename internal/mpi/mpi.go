@@ -1,0 +1,490 @@
+// Package mpi is a message-passing runtime for functional simulation:
+// each rank is a goroutine with a virtual clock, and MPI-style
+// operations (Send/Recv, nonblocking requests, barriers, reductions,
+// communicator splits) advance the clocks according to a pluggable
+// transfer-time model. Time spent blocked in Recv/Wait is accounted as
+// MPI_Wait time, mirroring the profiling the paper reports in
+// Section 4.3.2.
+//
+// Virtual time is deterministic: a message's arrival time depends only
+// on the sender's clock and the time model, never on goroutine
+// scheduling.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// TimeModel computes virtual transfer durations between global ranks.
+type TimeModel interface {
+	// Transfer returns the virtual seconds for a message of the given
+	// size from src to dst (both global ranks).
+	Transfer(src, dst int, bytes int) float64
+}
+
+// AlphaBeta is the classic latency/bandwidth time model:
+// alpha + bytes*beta.
+type AlphaBeta struct {
+	Alpha float64 // per-message latency, s
+	Beta  float64 // per-byte cost, s/byte
+}
+
+// Transfer implements TimeModel.
+func (m AlphaBeta) Transfer(_, _ int, bytes int) float64 {
+	return m.Alpha + float64(bytes)*m.Beta
+}
+
+// message is an in-flight message.
+type message struct {
+	src     int // global sender rank
+	tag     int
+	comm    int // communicator id
+	data    []float64
+	arrival float64 // virtual arrival time
+}
+
+// matchKey identifies a receive queue.
+type matchKey struct {
+	src  int
+	tag  int
+	comm int
+}
+
+// World is one simulated job: n ranks plus shared mailboxes.
+type World struct {
+	n     int
+	tm    TimeModel
+	mu    sync.Mutex
+	cond  *sync.Cond
+	boxes []map[matchKey][]*message // per receiver global rank
+	// blocked counts ranks currently waiting in Recv; queued counts
+	// undelivered messages. When every live rank is blocked and nothing
+	// is queued, the job is deadlocked.
+	blocked int
+	queued  int
+	alive   int
+	failed  bool
+	commSeq int
+}
+
+// ErrDeadlock is reported when every rank is blocked in Recv with no
+// messages in flight.
+var ErrDeadlock = errors.New("mpi: deadlock: all ranks blocked in Recv with empty queues")
+
+// Proc is the per-rank handle passed to the rank function.
+type Proc struct {
+	w     *World
+	rank  int // global rank
+	clock float64
+	wait  float64
+	world *Comm
+}
+
+// Comm is a communicator: an ordered group of global ranks. Local rank
+// i of the communicator is ranks[i].
+type Comm struct {
+	w     *World
+	id    int
+	ranks []int
+	me    int // local rank of the owning Proc
+	proc  *Proc
+}
+
+// Run executes fn on n ranks and blocks until all complete. It returns
+// the first error any rank produced (or a deadlock error). The returned
+// procs expose final clocks and wait times, indexed by rank.
+func Run(n int, tm TimeModel, fn func(p *Proc) error) ([]*Proc, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mpi: need at least 1 rank, got %d", n)
+	}
+	w := &World{n: n, tm: tm, alive: n, commSeq: 1}
+	w.cond = sync.NewCond(&w.mu)
+	w.boxes = make([]map[matchKey][]*message, n)
+	for i := range w.boxes {
+		w.boxes[i] = make(map[matchKey][]*message)
+	}
+	procs := make([]*Proc, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		p := &Proc{w: w, rank: r}
+		ranks := make([]int, n)
+		for i := range ranks {
+			ranks[i] = i
+		}
+		p.world = &Comm{w: w, id: 0, ranks: ranks, me: r, proc: p}
+		procs[r] = p
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				w.mu.Lock()
+				w.alive--
+				w.cond.Broadcast()
+				w.mu.Unlock()
+			}()
+			errs[r] = fn(procs[r])
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return procs, err
+		}
+	}
+	return procs, nil
+}
+
+// Rank returns the global rank of p.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the number of ranks in the world.
+func (p *Proc) Size() int { return p.w.n }
+
+// World returns the world communicator (MPI_COMM_WORLD).
+func (p *Proc) World() *Comm { return p.world }
+
+// Clock returns the rank's current virtual time.
+func (p *Proc) Clock() float64 { return p.clock }
+
+// WaitTime returns the accumulated virtual time spent blocked in
+// Recv/Wait — the MPI_Wait time of the paper's measurements.
+func (p *Proc) WaitTime() float64 { return p.wait }
+
+// Compute advances the rank's virtual clock by the given duration.
+func (p *Proc) Compute(seconds float64) {
+	if seconds > 0 {
+		p.clock += seconds
+	}
+}
+
+// Rank returns the caller's local rank in c.
+func (c *Comm) Rank() int { return c.me }
+
+// Size returns the number of ranks in c.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// Global returns the global rank of local rank r in c.
+func (c *Comm) Global(r int) int { return c.ranks[r] }
+
+// Send delivers data to local rank `to` of the communicator with the
+// given tag. Sends are eager (buffered): the sender does not block; its
+// clock advances by the local share of the transfer.
+func (c *Comm) Send(to, tag int, data []float64) {
+	p := c.proc
+	dst := c.ranks[to]
+	bytes := 8 * len(data)
+	t := c.w.tm.Transfer(p.rank, dst, bytes)
+	msg := &message{
+		src:     p.rank,
+		tag:     tag,
+		comm:    c.id,
+		data:    append([]float64(nil), data...),
+		arrival: p.clock + t,
+	}
+	w := c.w
+	w.mu.Lock()
+	key := matchKey{src: p.rank, tag: tag, comm: c.id}
+	w.boxes[dst][key] = append(w.boxes[dst][key], msg)
+	w.queued++
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// Recv blocks until a message with the given source (local rank) and
+// tag arrives, advances the virtual clock to the arrival time, and
+// accounts blocked time as wait time.
+func (c *Comm) Recv(from, tag int) ([]float64, error) {
+	p := c.proc
+	src := c.ranks[from]
+	key := matchKey{src: src, tag: tag, comm: c.id}
+	w := c.w
+	w.mu.Lock()
+	w.blocked++
+	for {
+		if q := w.boxes[p.rank][key]; len(q) > 0 {
+			msg := q[0]
+			if len(q) == 1 {
+				delete(w.boxes[p.rank], key)
+			} else {
+				w.boxes[p.rank][key] = q[1:]
+			}
+			w.queued--
+			w.blocked--
+			w.mu.Unlock()
+			if msg.arrival > p.clock {
+				p.wait += msg.arrival - p.clock
+				p.clock = msg.arrival
+			}
+			return msg.data, nil
+		}
+		if w.failed || (w.blocked >= w.alive && w.queued == 0) {
+			w.failed = true
+			w.blocked--
+			w.cond.Broadcast()
+			w.mu.Unlock()
+			return nil, ErrDeadlock
+		}
+		w.cond.Wait()
+	}
+}
+
+// Request is a handle for a nonblocking operation.
+type Request struct {
+	comm *Comm
+	recv bool
+	from int
+	tag  int
+	done bool
+	data []float64
+	err  error
+}
+
+// Isend starts a nonblocking send. In the eager model the send
+// completes immediately.
+func (c *Comm) Isend(to, tag int, data []float64) *Request {
+	c.Send(to, tag, data)
+	return &Request{comm: c, done: true}
+}
+
+// Irecv posts a nonblocking receive; the matching happens in Wait.
+func (c *Comm) Irecv(from, tag int) *Request {
+	return &Request{comm: c, recv: true, from: from, tag: tag}
+}
+
+// Wait completes the request, returning received data for receives.
+func (r *Request) Wait() ([]float64, error) {
+	if r.done {
+		return r.data, r.err
+	}
+	r.done = true
+	if r.recv {
+		r.data, r.err = r.comm.Recv(r.from, r.tag)
+	}
+	return r.data, r.err
+}
+
+// WaitAll completes all requests, returning the first error.
+func WaitAll(reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Internal collective tags (user tags must be >= 0).
+const (
+	tagBarrier = -1
+	tagReduce  = -2
+	tagBcast   = -3
+	tagSplit   = -4
+	tagGather  = -5
+)
+
+// Barrier synchronizes the communicator: all clocks advance to the
+// latest participant (plus transfer costs of the gather/release tree).
+func (c *Comm) Barrier() error {
+	_, err := c.gatherScatter(tagBarrier, nil, nil)
+	return err
+}
+
+// gatherScatter funnels per-rank payloads to local root 0, applies
+// combine (if non-nil), and scatters the result back. It is the
+// backbone of the collectives.
+func (c *Comm) gatherScatter(tag int, payload []float64, combine func([][]float64) []float64) ([]float64, error) {
+	if c.me == 0 {
+		all := make([][]float64, c.Size())
+		all[0] = payload
+		for r := 1; r < c.Size(); r++ {
+			d, err := c.Recv(r, tag)
+			if err != nil {
+				return nil, err
+			}
+			all[r] = d
+		}
+		var res []float64
+		if combine != nil {
+			res = combine(all)
+		}
+		for r := 1; r < c.Size(); r++ {
+			c.Send(r, tag, res)
+		}
+		return res, nil
+	}
+	c.Send(0, tag, payload)
+	return c.Recv(0, tag)
+}
+
+// Op is a reduction operator.
+type Op func(a, b float64) float64
+
+// Reduction operators.
+var (
+	OpSum Op = func(a, b float64) float64 { return a + b }
+	OpMax Op = func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	OpMin Op = func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+)
+
+// Allreduce combines vals element-wise across the communicator with op
+// and returns the result on every rank.
+func (c *Comm) Allreduce(op Op, vals []float64) ([]float64, error) {
+	return c.gatherScatter(tagReduce, vals, func(all [][]float64) []float64 {
+		res := append([]float64(nil), all[0]...)
+		for _, v := range all[1:] {
+			for i := range res {
+				res[i] = op(res[i], v[i])
+			}
+		}
+		return res
+	})
+}
+
+// Bcast distributes root's data to every rank and returns it.
+func (c *Comm) Bcast(root int, data []float64) ([]float64, error) {
+	if c.me == root {
+		for r := 0; r < c.Size(); r++ {
+			if r != root {
+				c.Send(r, tagBcast, data)
+			}
+		}
+		return data, nil
+	}
+	return c.Recv(root, tagBcast)
+}
+
+// Gather collects every rank's payload at root (local rank 0 receives
+// a concatenated [rank-ordered] slice; others receive nil).
+func (c *Comm) Gather(payload []float64) ([][]float64, error) {
+	if c.me == 0 {
+		all := make([][]float64, c.Size())
+		all[0] = payload
+		for r := 1; r < c.Size(); r++ {
+			d, err := c.Recv(r, tagGather)
+			if err != nil {
+				return nil, err
+			}
+			all[r] = d
+		}
+		return all, nil
+	}
+	c.Send(0, tagGather, payload)
+	return nil, nil
+}
+
+// Split partitions the communicator by color, ordering members by
+// (key, current local rank), like MPI_Comm_split. Every rank must call
+// it. Ranks passing a negative color receive nil (MPI_UNDEFINED).
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	// Gather (color, key) at local root 0.
+	res, err := c.gatherScatter(tagSplit, []float64{float64(color), float64(key)},
+		func(all [][]float64) []float64 {
+			// Encode: for each member, its new comm id and the flattened
+			// member list boundaries. Root assigns ids deterministically by
+			// ascending color.
+			type member struct{ rank, color, key int }
+			ms := make([]member, len(all))
+			for r, d := range all {
+				ms[r] = member{rank: r, color: int(d[0]), key: int(d[1])}
+			}
+			colors := map[int][]member{}
+			for _, m := range ms {
+				if m.color >= 0 {
+					colors[m.color] = append(colors[m.color], m)
+				}
+			}
+			var order []int
+			for col := range colors {
+				order = append(order, col)
+			}
+			sort.Ints(order)
+			// Payload layout: n, then per world-local-rank: (groupIndex or
+			// -1), then groups: count, then for each group: size, members...
+			out := []float64{float64(len(all))}
+			assignment := make([]int, len(all))
+			for i := range assignment {
+				assignment[i] = -1
+			}
+			for gi, col := range order {
+				members := colors[col]
+				sort.Slice(members, func(a, b int) bool {
+					if members[a].key != members[b].key {
+						return members[a].key < members[b].key
+					}
+					return members[a].rank < members[b].rank
+				})
+				colors[col] = members
+				for _, m := range members {
+					assignment[m.rank] = gi
+				}
+			}
+			for _, a := range assignment {
+				out = append(out, float64(a))
+			}
+			// Allocate world-unique communicator ids for the groups.
+			c.w.mu.Lock()
+			firstID := c.w.commSeq
+			c.w.commSeq += len(order)
+			c.w.mu.Unlock()
+			out = append(out, float64(len(order)))
+			for gi, col := range order {
+				out = append(out, float64(firstID+gi), float64(len(colors[col])))
+				for _, m := range colors[col] {
+					out = append(out, float64(m.rank))
+				}
+			}
+			return out
+		})
+	if err != nil {
+		return nil, err
+	}
+	// Decode.
+	n := int(res[0])
+	assignment := res[1 : 1+n]
+	gi := int(assignment[c.me])
+	if gi < 0 {
+		return nil, nil
+	}
+	pos := 1 + n
+	numGroups := int(res[pos])
+	pos++
+	var groups [][]int
+	var ids []int
+	for g := 0; g < numGroups; g++ {
+		ids = append(ids, int(res[pos]))
+		size := int(res[pos+1])
+		pos += 2
+		members := make([]int, size)
+		for i := 0; i < size; i++ {
+			members[i] = int(res[pos])
+			pos++
+		}
+		groups = append(groups, members)
+	}
+	members := groups[gi]
+	// Translate parent-local ranks to global ranks and find my position.
+	globals := make([]int, len(members))
+	me := -1
+	for i, r := range members {
+		globals[i] = c.ranks[r]
+		if r == c.me {
+			me = i
+		}
+	}
+	return &Comm{w: c.w, id: ids[gi], ranks: globals, me: me, proc: c.proc}, nil
+}

@@ -1,0 +1,150 @@
+// Package netsim models message transfer times on a 3D torus with
+// static link contention. During a communication phase (e.g. one halo
+// exchange of all ranks), every message's dimension-ordered route is
+// accumulated onto the directed links it traverses; a message's
+// effective bandwidth is the raw link bandwidth divided by the maximum
+// link multiplicity along its route. This reproduces the paper's
+// observation that placing siblings on small, compact torus regions
+// "leads to lesser congestion and smaller delay for point-to-point
+// message transfer between neighbouring processes" (Section 4.3.2).
+package netsim
+
+import (
+	"errors"
+	"fmt"
+
+	"nestwrf/internal/torus"
+)
+
+// Params are the link-level parameters of the network. Times are in
+// seconds, sizes in bytes.
+type Params struct {
+	// LatencyPerHop is the per-hop propagation/router delay.
+	LatencyPerHop float64
+	// Overhead is the fixed per-message software (MPI stack) overhead.
+	Overhead float64
+	// Bandwidth is the raw bandwidth of one directed link, bytes/s.
+	Bandwidth float64
+}
+
+// ErrBadParams is returned for non-positive network parameters.
+var ErrBadParams = errors.New("netsim: parameters must be positive")
+
+// Validate checks p.
+func (p Params) Validate() error {
+	if p.LatencyPerHop <= 0 || p.Overhead < 0 || p.Bandwidth <= 0 {
+		return fmt.Errorf("%w: %+v", ErrBadParams, p)
+	}
+	return nil
+}
+
+// Network accumulates per-link loads for a communication phase and
+// computes message transfer times under the resulting contention.
+type Network struct {
+	Torus  torus.Torus
+	Params Params
+	load   map[torus.Link]int
+}
+
+// New returns a Network for the given torus and parameters.
+func New(t torus.Torus, p Params) (*Network, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Network{Torus: t, Params: p, load: make(map[torus.Link]int)}, nil
+}
+
+// Reset clears the accumulated link loads, starting a new phase.
+func (n *Network) Reset() {
+	n.load = make(map[torus.Link]int)
+}
+
+// AddFlow registers one message from a to b for the current phase,
+// loading every directed link along its dimension-ordered route.
+// Self-messages add no load.
+func (n *Network) AddFlow(a, b torus.Coord) {
+	for _, l := range n.Torus.Route(a, b) {
+		n.load[l]++
+	}
+}
+
+// AddFlows registers all messages of a phase given as coordinate pairs;
+// each pair is counted in both directions, as halo exchanges are.
+func (n *Network) AddFlows(pairs [][2]torus.Coord) {
+	for _, p := range pairs {
+		n.AddFlow(p[0], p[1])
+		n.AddFlow(p[1], p[0])
+	}
+}
+
+// PathLoad returns the maximum link multiplicity along the route from a
+// to b under the current phase's loads. The returned value is at least
+// 1 for distinct endpoints (the message itself always uses its links)
+// and 0 for a == b.
+func (n *Network) PathLoad(a, b torus.Coord) int {
+	max := 0
+	for _, l := range n.Torus.Route(a, b) {
+		c := n.load[l]
+		if c == 0 {
+			c = 1 // count the message under consideration
+		}
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// MaxLinkLoad returns the highest load on any link in the current
+// phase.
+func (n *Network) MaxLinkLoad() int {
+	max := 0
+	for _, c := range n.load {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// TotalHops returns the total number of link traversals registered in
+// the current phase — the hop-byte style congestion metric of the
+// paper's Section 2.3 (with unit message size).
+func (n *Network) TotalHops() int {
+	sum := 0
+	for _, c := range n.load {
+		sum += c
+	}
+	return sum
+}
+
+// TransferTime returns the modeled time for one message of the given
+// size from a to b under the current phase's contention:
+//
+//	overhead + hops·latency + bytes / (bandwidth / pathLoad)
+//
+// A self-message costs only the software overhead.
+func (n *Network) TransferTime(a, b torus.Coord, bytes int) float64 {
+	hops := n.Torus.Hops(a, b)
+	if hops == 0 {
+		return n.Params.Overhead
+	}
+	kappa := float64(n.PathLoad(a, b))
+	if kappa < 1 {
+		kappa = 1
+	}
+	return n.Params.Overhead +
+		float64(hops)*n.Params.LatencyPerHop +
+		float64(bytes)*kappa/n.Params.Bandwidth
+}
+
+// UncontendedTime is TransferTime with an empty network (path load 1).
+func (n *Network) UncontendedTime(a, b torus.Coord, bytes int) float64 {
+	hops := n.Torus.Hops(a, b)
+	if hops == 0 {
+		return n.Params.Overhead
+	}
+	return n.Params.Overhead +
+		float64(hops)*n.Params.LatencyPerHop +
+		float64(bytes)/n.Params.Bandwidth
+}

@@ -1,0 +1,70 @@
+package output
+
+import (
+	"bytes"
+	"testing"
+
+	"nestwrf/internal/solver"
+)
+
+// FuzzDecode hardens the forecast decoder against corrupt and
+// adversarial inputs: it must never panic or allocate absurd amounts,
+// only return errors. (Seed corpus runs under plain `go test`; use
+// `go test -fuzz=FuzzDecode ./internal/output` for a real fuzz
+// session.)
+func FuzzDecode(f *testing.F) {
+	// Seed with a valid record and a few mutations.
+	st := solver.NewState(4, 3)
+	for i := range st.H {
+		st.H[i] = 1 + float64(i)*0.1
+	}
+	var valid bytes.Buffer
+	if err := Encode(&valid, Snapshot{Domain: "seed", Step: 7, State: st}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("NWRF"))
+	f.Add([]byte("JUNKJUNKJUNKJUNK"))
+	corrupt := append([]byte(nil), valid.Bytes()...)
+	corrupt[len(corrupt)-1] ^= 0xFF
+	f.Add(corrupt)
+	truncated := valid.Bytes()[:valid.Len()/3]
+	f.Add(truncated)
+	// Huge claimed dimensions.
+	huge := append([]byte("NWRF"), []byte{
+		1, 0, 0, 0, // version
+		1, 0, 0, 0, // name len 1
+		'x',
+		0, 0, 0, 0, 0, 0, 0, 0, // step
+		0xFF, 0xFF, 0xFF, 0x7F, // nx huge
+		0xFF, 0xFF, 0xFF, 0x7F, // ny huge
+	}...)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // errors are the expected outcome for garbage
+		}
+		// A successful decode must be internally consistent.
+		if s.State == nil || s.State.NX <= 0 || s.State.NY <= 0 {
+			t.Fatalf("successful decode with bad state: %+v", s)
+		}
+		if len(s.State.H) != s.State.NX*s.State.NY {
+			t.Fatalf("field length %d for %dx%d", len(s.State.H), s.State.NX, s.State.NY)
+		}
+		// Re-encoding must round-trip.
+		var buf bytes.Buffer
+		if err := Encode(&buf, s); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		s2, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if s2.Domain != s.Domain || s2.Step != s.Step {
+			t.Fatal("round trip changed metadata")
+		}
+	})
+}

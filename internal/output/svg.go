@@ -1,0 +1,45 @@
+package output
+
+import (
+	"fmt"
+	"strings"
+
+	"nestwrf/internal/alloc"
+)
+
+// partition fill colors (cycled), chosen for adjacent contrast.
+var svgPalette = []string{
+	"#4e79a7", "#f28e2b", "#59a14f", "#e15759",
+	"#76b7b2", "#edc948", "#b07aa1", "#9c755f",
+}
+
+// PartitionsSVG renders the processor-grid partitions as a scalable
+// vector diagram — the counterpart of the paper's Fig. 3(b). Each
+// sibling's rectangle is drawn with its index, dimensions and share.
+func PartitionsSVG(rects []alloc.Rect, px, py int) string {
+	const cell = 16 // pixels per processor
+	w, h := px*cell, py*cell
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w+2, h+2, w+2, h+2)
+	fmt.Fprintf(&b, `<rect x="1" y="1" width="%d" height="%d" fill="#ffffff" stroke="#333333"/>`+"\n", w, h)
+	total := px * py
+	for i, r := range rects {
+		color := svgPalette[i%len(svgPalette)]
+		x, y := 1+r.X*cell, 1+r.Y*cell
+		rw, rh := r.W*cell, r.H*cell
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" fill-opacity="0.55" stroke="#222222" stroke-width="1.5"/>`+"\n",
+			x, y, rw, rh, color)
+		share := 100 * float64(r.Area()) / float64(total)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%d: %dx%d (%.0f%%)</text>`+"\n",
+			x+rw/2, y+rh/2+4, i+1, r.W, r.H, share)
+	}
+	// Light grid lines every 4 processors.
+	for gx := 4; gx < px; gx += 4 {
+		fmt.Fprintf(&b, `<line x1="%d" y1="1" x2="%d" y2="%d" stroke="#00000022"/>`+"\n", 1+gx*cell, 1+gx*cell, 1+h)
+	}
+	for gy := 4; gy < py; gy += 4 {
+		fmt.Fprintf(&b, `<line x1="1" y1="%d" x2="%d" y2="%d" stroke="#00000022"/>`+"\n", 1+gy*cell, 1+w, 1+gy*cell)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

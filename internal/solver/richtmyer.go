@@ -1,0 +1,107 @@
+package solver
+
+// Scheme selects the time-integration scheme of a Tile.
+type Scheme int
+
+// Available schemes.
+const (
+	// LaxFriedrichs is the robust first-order default.
+	LaxFriedrichs Scheme = iota
+	// Richtmyer is the two-step Lax-Wendroff variant: second-order in
+	// space and time, markedly less diffusive, with the same one-cell
+	// halo and one exchange per step (half states live on cell faces and
+	// are computed locally).
+	Richtmyer
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	if s == Richtmyer {
+		return "richtmyer"
+	}
+	return "lax-friedrichs"
+}
+
+// stepRichtmyer advances the owned region one step with the two-step
+// Lax-Wendroff (Richtmyer) scheme, assuming halos are current. Like
+// Step, every cell update reads the same values in the same order
+// regardless of the decomposition, so parallel runs match the serial
+// run bit for bit.
+func (t *Tile) stepRichtmyer() {
+	dtdx := t.P.Dt / t.P.Dx
+	half := 0.5 * dtdx
+	g := t.P.G
+
+	// fluxX / fluxY evaluate the physical fluxes of a state triple.
+	fluxX := func(h, hu, hv float64) (fh, fhu, fhv float64) {
+		if h <= 0 {
+			return 0, 0, 0
+		}
+		u := hu / h
+		return hu, hu*u + 0.5*g*h*h, hu * (hv / h)
+	}
+	fluxY := func(h, hu, hv float64) (gh, ghu, ghv float64) {
+		if h <= 0 {
+			return 0, 0, 0
+		}
+		v := hv / h
+		return hv, hv * (hu / h), hv*v + 0.5*g*h*h
+	}
+
+	// halfX returns the predicted half-step state on the x face between
+	// local cells i and i+1 (indices into the halo buffers).
+	halfX := func(l, r int) (h, hu, hv float64) {
+		flh, flhu, flhv := fluxX(t.h[l], t.hu[l], t.hv[l])
+		frh, frhu, frhv := fluxX(t.h[r], t.hu[r], t.hv[r])
+		h = 0.5*(t.h[l]+t.h[r]) - half*(frh-flh)
+		hu = 0.5*(t.hu[l]+t.hu[r]) - half*(frhu-flhu)
+		hv = 0.5*(t.hv[l]+t.hv[r]) - half*(frhv-flhv)
+		return h, hu, hv
+	}
+	halfY := func(b, a int) (h, hu, hv float64) {
+		fbh, fbhu, fbhv := fluxY(t.h[b], t.hu[b], t.hv[b])
+		fah, fahu, fahv := fluxY(t.h[a], t.hu[a], t.hv[a])
+		h = 0.5*(t.h[b]+t.h[a]) - half*(fah-fbh)
+		hu = 0.5*(t.hu[b]+t.hu[a]) - half*(fahu-fbhu)
+		hv = 0.5*(t.hv[b]+t.hv[a]) - half*(fahv-fbhv)
+		return h, hu, hv
+	}
+
+	fcor := t.P.F * t.P.Dt
+	drag := t.P.Drag * t.P.Dt
+	for y := 0; y < t.H; y++ {
+		for x := 0; x < t.W; x++ {
+			c := t.idx(x, y)
+			e, w := t.idx(x+1, y), t.idx(x-1, y)
+			n, s := t.idx(x, y+1), t.idx(x, y-1)
+
+			// Face half states.
+			ehh, ehu, ehv := halfX(c, e) // east face
+			whh, whu, whv := halfX(w, c) // west face
+			nhh, nhu2, nhv2 := halfY(c, n)
+			shh, shu2, shv2 := halfY(s, c)
+
+			feh, fehu, fehv := fluxX(ehh, ehu, ehv)
+			fwh, fwhu, fwhv := fluxX(whh, whu, whv)
+			gnh, gnhu, gnhv := fluxY(nhh, nhu2, nhv2)
+			gsh, gshu, gshv := fluxY(shh, shu2, shv2)
+
+			nh := t.h[c] - dtdx*((feh-fwh)+(gnh-gsh))
+			nhu := t.hu[c] - dtdx*((fehu-fwhu)+(gnhu-gshu))
+			nhv := t.hv[c] - dtdx*((fehv-fwhv)+(gnhv-gshv))
+			if fcor != 0 {
+				nhu, nhv = nhu+fcor*nhv, nhv-fcor*nhu
+			}
+			if drag != 0 {
+				nhu -= drag * nhu
+				nhv -= drag * nhv
+			}
+			t.nh[c] = nh
+			t.nhu[c] = nhu
+			t.nhv[c] = nhv
+		}
+	}
+	t.h, t.nh = t.nh, t.h
+	t.hu, t.nhu = t.nhu, t.hu
+	t.hv, t.nhv = t.nhv, t.hv
+}

@@ -1,0 +1,109 @@
+package topotime
+
+import (
+	"testing"
+
+	"nestwrf/internal/machine"
+	"nestwrf/internal/mapping"
+	"nestwrf/internal/nest"
+	"nestwrf/internal/netsim"
+	"nestwrf/internal/wrfsim"
+)
+
+func params() netsim.Params {
+	return netsim.Params{LatencyPerHop: 2e-5, Overhead: 1e-5, Bandwidth: 175e6}
+}
+
+func build(t *testing.T, ranks int, fold bool) *Model {
+	t.Helper()
+	g, err := machine.GridFor(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tor, err := machine.TorusFor(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m *mapping.Mapping
+	if fold {
+		m, err = mapping.MultiLevel(g, tor)
+	} else {
+		m, err = mapping.Sequential(g, tor)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := New(m, params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, params()); err == nil {
+		t.Error("nil mapping should fail")
+	}
+	g, _ := machine.GridFor(32)
+	tor, _ := machine.TorusFor(32)
+	m, _ := mapping.Sequential(g, tor)
+	if _, err := New(m, netsim.Params{}); err == nil {
+		t.Error("bad params should fail")
+	}
+}
+
+func TestTransferScalesWithHops(t *testing.T) {
+	tm := build(t, 32, false)
+	// Ranks 0 and 1 are torus neighbours; 0 and 8 are 2 hops apart
+	// (Fig. 5b).
+	near := tm.Transfer(0, 1, 1000)
+	far := tm.Transfer(0, 8, 1000)
+	if far <= near {
+		t.Errorf("2-hop transfer %v should exceed 1-hop %v", far, near)
+	}
+	want := params().Overhead + 2*params().LatencyPerHop + 1000/params().Bandwidth
+	if far != want {
+		t.Errorf("far = %v, want %v", far, want)
+	}
+	// Out-of-range ranks pay the diameter.
+	worst := tm.Transfer(-1, 5, 0)
+	if worst < tm.Transfer(0, 8, 0) {
+		t.Error("out-of-range transfer should be worst-case")
+	}
+}
+
+// The end-to-end topology claim, functionally: the same mini-WRF run
+// finishes in less virtual time under the multi-level fold than under
+// the oblivious mapping, with identical fields.
+func TestFunctionalMappingGain(t *testing.T) {
+	cfg := nest.Root("parent", 64, 64)
+	cfg.AddChild("nest1", 60, 48, 3, 2, 2)
+	cfg.AddChild("nest2", 48, 36, 3, 30, 30)
+
+	run := func(fold bool) *wrfsim.Output {
+		out, err := wrfsim.Run(cfg, wrfsim.Options{
+			Ranks:     32,
+			Steps:     3,
+			Strategy:  wrfsim.Concurrent,
+			PointCost: 1e-6,
+			TM:        build(t, 32, fold),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	obl := run(false)
+	fold := run(true)
+
+	if d := obl.Parent.MaxDiff(fold.Parent); d != 0 {
+		t.Errorf("mapping changed the forecast by %v", d)
+	}
+	t.Logf("virtual makespan: oblivious %.6f s, multilevel fold %.6f s", obl.MaxClock, fold.MaxClock)
+	if fold.MaxClock >= obl.MaxClock {
+		t.Errorf("fold makespan %.6f should beat oblivious %.6f", fold.MaxClock, obl.MaxClock)
+	}
+	if fold.AvgWait >= obl.AvgWait {
+		t.Errorf("fold wait %.6f should beat oblivious %.6f", fold.AvgWait, obl.AvgWait)
+	}
+}

@@ -1,0 +1,200 @@
+// Package torus models the 3D torus interconnect of IBM Blue Gene/L
+// and Blue Gene/P systems (paper Section 3.3): node coordinates,
+// minimal wraparound hop distances, and the dimension-ordered routes
+// used to account per-link traffic in the network simulator.
+//
+// The model treats each core as a torus endpoint; virtual-node mode
+// (multiple cores per node) is represented by folding the intra-node
+// "T" dimension into Z, which slightly overestimates intra-node hop
+// cost (one cheap hop instead of zero) and is noted in DESIGN.md.
+package torus
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Torus describes a 3D torus with the given dimensions.
+type Torus struct {
+	X, Y, Z int
+}
+
+// Coord is the coordinate of a node in the torus.
+type Coord struct {
+	X, Y, Z int
+}
+
+// String implements fmt.Stringer.
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d,%d)", c.X, c.Y, c.Z) }
+
+// ErrBadDims is returned for non-positive torus dimensions.
+var ErrBadDims = errors.New("torus: dimensions must be positive")
+
+// New returns a torus with the given dimensions.
+func New(x, y, z int) (Torus, error) {
+	if x <= 0 || y <= 0 || z <= 0 {
+		return Torus{}, fmt.Errorf("%w: %dx%dx%d", ErrBadDims, x, y, z)
+	}
+	return Torus{x, y, z}, nil
+}
+
+// Nodes returns the number of nodes in the torus.
+func (t Torus) Nodes() int { return t.X * t.Y * t.Z }
+
+// Valid reports whether c is a coordinate inside t.
+func (t Torus) Valid(c Coord) bool {
+	return c.X >= 0 && c.X < t.X && c.Y >= 0 && c.Y < t.Y && c.Z >= 0 && c.Z < t.Z
+}
+
+// Index returns the linear index of c with x varying fastest.
+func (t Torus) Index(c Coord) int {
+	return c.X + t.X*(c.Y+t.Y*c.Z)
+}
+
+// CoordOf returns the coordinate of linear index i (x fastest).
+func (t Torus) CoordOf(i int) Coord {
+	return Coord{X: i % t.X, Y: (i / t.X) % t.Y, Z: i / (t.X * t.Y)}
+}
+
+// wrapDelta returns the signed minimal step count from a to b along a
+// dimension of the given size, preferring the positive direction on
+// ties.
+func wrapDelta(a, b, size int) int {
+	d := ((b-a)%size + size) % size
+	if d*2 > size {
+		return d - size
+	}
+	return d
+}
+
+// dimDist returns the minimal hop count between positions a and b on a
+// ring of the given size.
+func dimDist(a, b, size int) int {
+	d := wrapDelta(a, b, size)
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// Hops returns the minimal number of network hops between two nodes,
+// i.e. the wraparound Manhattan distance.
+func (t Torus) Hops(a, b Coord) int {
+	return dimDist(a.X, b.X, t.X) + dimDist(a.Y, b.Y, t.Y) + dimDist(a.Z, b.Z, t.Z)
+}
+
+// Dim identifies a torus dimension.
+type Dim uint8
+
+// The three torus dimensions.
+const (
+	DimX Dim = iota
+	DimY
+	DimZ
+)
+
+// String implements fmt.Stringer.
+func (d Dim) String() string {
+	switch d {
+	case DimX:
+		return "X"
+	case DimY:
+		return "Y"
+	case DimZ:
+		return "Z"
+	}
+	return fmt.Sprintf("Dim(%d)", uint8(d))
+}
+
+// Link identifies a directed link: the cable leaving node From in
+// dimension Dim towards direction Dir (+1 or -1). Each physical torus
+// cable appears as two Links, one per direction, matching the
+// independent send/receive channels of Blue Gene hardware.
+type Link struct {
+	From Coord
+	Dim  Dim
+	Dir  int8
+}
+
+// Route returns the sequence of directed links of the dimension-ordered
+// (X, then Y, then Z) minimal route from a to b, the deterministic
+// routing used by Blue Gene. An empty route means a == b.
+func (t Torus) Route(a, b Coord) []Link {
+	n := t.Hops(a, b)
+	if n == 0 {
+		return nil
+	}
+	route := make([]Link, 0, n)
+	cur := a
+	step := func(pos, target, size int, d Dim, set func(*Coord, int)) {
+		delta := wrapDelta(pos, target, size)
+		dir := int8(1)
+		if delta < 0 {
+			dir = -1
+			delta = -delta
+		}
+		for i := 0; i < delta; i++ {
+			route = append(route, Link{From: cur, Dim: d, Dir: dir})
+			next := ((pos+int(dir))%size + size) % size
+			set(&cur, next)
+			pos = next
+		}
+	}
+	step(cur.X, b.X, t.X, DimX, func(c *Coord, v int) { c.X = v })
+	step(cur.Y, b.Y, t.Y, DimY, func(c *Coord, v int) { c.Y = v })
+	step(cur.Z, b.Z, t.Z, DimZ, func(c *Coord, v int) { c.Z = v })
+	return route
+}
+
+// Neighbor returns the coordinate one hop from c in dimension d,
+// direction dir (with wraparound).
+func (t Torus) Neighbor(c Coord, d Dim, dir int8) Coord {
+	switch d {
+	case DimX:
+		c.X = ((c.X+int(dir))%t.X + t.X) % t.X
+	case DimY:
+		c.Y = ((c.Y+int(dir))%t.Y + t.Y) % t.Y
+	case DimZ:
+		c.Z = ((c.Z+int(dir))%t.Z + t.Z) % t.Z
+	}
+	return c
+}
+
+// LinkCount returns the total number of directed links in the torus.
+// Rings of length 1 have no links; rings of length 2 have a single
+// physical cable per node pair, modeled as two directed links.
+func (t Torus) LinkCount() int {
+	count := 0
+	per := func(size int) int {
+		switch {
+		case size <= 1:
+			return 0
+		default:
+			return 2 // both directions
+		}
+	}
+	count += t.Nodes() * per(t.X)
+	count += t.Nodes() * per(t.Y)
+	count += t.Nodes() * per(t.Z)
+	return count
+}
+
+// Bisection returns the bisection width (number of directed links
+// crossing a bisecting plane of the torus along its longest dimension).
+func (t Torus) Bisection() int {
+	long, area := t.X, t.Y*t.Z
+	if t.Y > long {
+		long, area = t.Y, t.X*t.Z
+	}
+	if t.Z > long {
+		long, area = t.Z, t.X*t.Y
+	}
+	if long == 1 {
+		return 0
+	}
+	wrap := 2
+	if long == 2 {
+		wrap = 1
+	}
+	return area * 2 * wrap // both directions x both cut planes (wraparound)
+}

@@ -1,0 +1,130 @@
+// Package trace records the virtual-time phases of one simulated
+// iteration (parent step, per-sibling nest phases, I/O) and renders
+// them as a text Gantt chart, making the difference between the
+// sequential and concurrent schedules visible at a glance.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Span is one timed phase on one lane (a processor group).
+type Span struct {
+	Name       string
+	Lane       string
+	Start, End float64 // virtual seconds within the iteration
+}
+
+// Log collects spans.
+type Log struct {
+	Spans []Span
+}
+
+// Add records a span; zero- or negative-length spans are dropped.
+func (l *Log) Add(name, lane string, start, end float64) {
+	if l == nil || end <= start {
+		return
+	}
+	l.Spans = append(l.Spans, Span{Name: name, Lane: lane, Start: start, End: end})
+}
+
+// Duration returns the end of the latest span.
+func (l *Log) Duration() float64 {
+	var d float64
+	for _, s := range l.Spans {
+		if s.End > d {
+			d = s.End
+		}
+	}
+	return d
+}
+
+// Lanes returns the distinct lanes in first-appearance order.
+func (l *Log) Lanes() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, s := range l.Spans {
+		if !seen[s.Lane] {
+			seen[s.Lane] = true
+			out = append(out, s.Lane)
+		}
+	}
+	return out
+}
+
+// Render draws the log as a text Gantt chart with the given plot width
+// in characters. Each lane is one row; spans appear as labelled bars.
+func (l *Log) Render(width int) string {
+	if len(l.Spans) == 0 {
+		return "(empty trace)\n"
+	}
+	if width < 20 {
+		width = 20
+	}
+	total := l.Duration()
+	if total <= 0 {
+		return "(empty trace)\n"
+	}
+	lanes := l.Lanes()
+	laneWidth := 0
+	for _, ln := range lanes {
+		if len(ln) > laneWidth {
+			laneWidth = len(ln)
+		}
+	}
+	scale := float64(width) / total
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s  0%s%.3fs\n", laneWidth, "", strings.Repeat(" ", width-len(fmt.Sprintf("%.3fs", total))-1), total)
+	for _, ln := range lanes {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		spans := make([]Span, 0)
+		for _, s := range l.Spans {
+			if s.Lane == ln {
+				spans = append(spans, s)
+			}
+		}
+		sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+		for _, s := range spans {
+			from := int(s.Start * scale)
+			to := int(s.End * scale)
+			if to <= from {
+				to = from + 1
+			}
+			if to > width {
+				to = width
+			}
+			label := s.Name
+			for i := from; i < to; i++ {
+				ch := byte('#')
+				if li := i - from; li < len(label) {
+					ch = label[li]
+				}
+				row[i] = ch
+			}
+		}
+		fmt.Fprintf(&b, "%*s |%s|\n", laneWidth, ln, row)
+	}
+	return b.String()
+}
+
+// Summary lists the spans in order with their times.
+func (l *Log) Summary() string {
+	spans := append([]Span(nil), l.Spans...)
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].Lane < spans[j].Lane
+	})
+	var b strings.Builder
+	for _, s := range spans {
+		fmt.Fprintf(&b, "%8.3f - %8.3f  %-20s %s\n", s.Start, s.End, s.Lane, s.Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,217 @@
+// Package workload generates the simulation configurations of the
+// paper's evaluation (Section 4.1): randomly generated Pacific-Ocean
+// typhoon-tracking configurations (85 configs, 2-4 siblings, nest sizes
+// 94x124 to 415x445, aspect ratio 0.5-1.5, 24 km parent with 8 km
+// nests) and fixed South-East-Asia style configurations with up to two
+// nesting levels, plus the named fixed configurations behind individual
+// tables and figures.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"nestwrf/internal/nest"
+)
+
+// Pacific region parameters (Section 4.1.2).
+const (
+	PacificParentNX = 286
+	PacificParentNY = 307
+	PacificRatio    = 3 // 24 km parent, 8 km nests
+	MinNestPoints   = 94 * 124
+	MaxNestPoints   = 415 * 445
+	MinAspect       = 0.5
+	MaxAspect       = 1.5
+)
+
+// RandomSibling draws a nest shape uniformly from the paper's size and
+// aspect ranges.
+func RandomSibling(rng *rand.Rand) (nx, ny int) {
+	points := MinNestPoints + rng.Float64()*(MaxNestPoints-MinNestPoints)
+	aspect := MinAspect + rng.Float64()*(MaxAspect-MinAspect)
+	nx = int(math.Round(math.Sqrt(points * aspect)))
+	ny = int(math.Round(float64(nx) / aspect))
+	if nx < 2 {
+		nx = 2
+	}
+	if ny < 2 {
+		ny = 2
+	}
+	return nx, ny
+}
+
+// RandomPacific builds a Pacific configuration with the given number of
+// sibling nests at the first level, placed at non-overlapping positions
+// when possible (overlap is tolerated after repeated failures, as
+// overlapping regions of interest are physically meaningful).
+func RandomPacific(rng *rand.Rand, siblings int) *nest.Domain {
+	root := nest.Root("pacific", PacificParentNX, PacificParentNY)
+	type box struct{ x, y, w, h int }
+	var placed []box
+	for s := 0; s < siblings; s++ {
+		nx, ny := RandomSibling(rng)
+		fw := ceilDiv(nx, PacificRatio)
+		fh := ceilDiv(ny, PacificRatio)
+		if fw > PacificParentNX {
+			fw = PacificParentNX
+			nx = fw * PacificRatio
+		}
+		if fh > PacificParentNY {
+			fh = PacificParentNY
+			ny = fh * PacificRatio
+		}
+		ox, oy := 0, 0
+		for attempt := 0; attempt < 50; attempt++ {
+			ox = rng.Intn(PacificParentNX - fw + 1)
+			oy = rng.Intn(PacificParentNY - fh + 1)
+			overlaps := false
+			for _, b := range placed {
+				if ox < b.x+b.w && b.x < ox+fw && oy < b.y+b.h && b.y < oy+fh {
+					overlaps = true
+					break
+				}
+			}
+			if !overlaps {
+				break
+			}
+		}
+		placed = append(placed, box{ox, oy, fw, fh})
+		root.AddChild(fmt.Sprintf("nest%d", s+1), nx, ny, PacificRatio, ox, oy)
+	}
+	return root
+}
+
+// PacificSuite generates the paper's 85 random Pacific configurations
+// (Section 4.1.2) with 2-4 siblings each, deterministically from the
+// seed.
+func PacificSuite(seed int64, n int) []*nest.Domain {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*nest.Domain, n)
+	for i := range out {
+		out[i] = RandomPacific(rng, 2+rng.Intn(3))
+	}
+	return out
+}
+
+// SEAsiaSuite returns eight fixed South-East-Asia style configurations
+// (Section 4.1.1): a 4.5 km parent with 1.5 km innermost nests over the
+// major business centres; three of the configurations nest at the
+// second level.
+func SEAsiaSuite() []*nest.Domain {
+	mk := func(name string, build func(*nest.Domain)) *nest.Domain {
+		root := nest.Root(name, 340, 360)
+		build(root)
+		return root
+	}
+	return []*nest.Domain{
+		mk("sea-2sib", func(r *nest.Domain) {
+			r.AddChild("singapore", 220, 180, 3, 20, 30)
+			r.AddChild("kuala-lumpur", 200, 240, 3, 140, 120)
+		}),
+		mk("sea-3sib", func(r *nest.Domain) {
+			r.AddChild("singapore", 220, 180, 3, 10, 20)
+			r.AddChild("bangkok", 260, 220, 3, 120, 110)
+			r.AddChild("manila", 180, 240, 3, 220, 230)
+		}),
+		mk("sea-4sib", func(r *nest.Domain) {
+			r.AddChild("singapore", 220, 180, 3, 5, 10)
+			r.AddChild("bangkok", 260, 220, 3, 100, 100)
+			r.AddChild("manila", 180, 240, 3, 210, 200)
+			r.AddChild("hanoi", 200, 200, 3, 20, 250)
+		}),
+		mk("sea-2sib-wide", func(r *nest.Domain) {
+			r.AddChild("gulf", 380, 260, 3, 30, 40)
+			r.AddChild("borneo", 300, 330, 3, 180, 180)
+		}),
+		mk("sea-3sib-mixed", func(r *nest.Domain) {
+			r.AddChild("jakarta", 320, 240, 3, 10, 10)
+			r.AddChild("saigon", 240, 260, 3, 150, 120)
+			r.AddChild("cebu", 200, 180, 3, 250, 250)
+		}),
+		// Two-level configurations: siblings at the second level.
+		mk("sea-l2-pair", func(r *nest.Domain) {
+			mid := r.AddChild("peninsula", 600, 540, 3, 60, 80)
+			mid.AddChild("kl-metro", 280, 240, 3, 40, 50)
+			mid.AddChild("sg-metro", 260, 220, 3, 320, 280)
+		}),
+		mk("sea-l2-triple", func(r *nest.Domain) {
+			mid := r.AddChild("indochina", 660, 600, 3, 40, 60)
+			mid.AddChild("bangkok-metro", 260, 220, 3, 20, 30)
+			mid.AddChild("phnom-penh", 220, 200, 3, 300, 120)
+			mid.AddChild("saigon-metro", 240, 260, 3, 420, 300)
+		}),
+		mk("sea-l2-deep", func(r *nest.Domain) {
+			mid := r.AddChild("malaya", 540, 600, 3, 80, 40)
+			mid.AddChild("west-coast", 240, 280, 3, 30, 60)
+			mid.AddChild("east-coast", 220, 260, 3, 280, 300)
+		}),
+	}
+}
+
+// Table2Config returns the 4-sibling configuration of Table 2 / Fig. 9:
+// siblings 394x418, 232x202, 232x256 and 313x337 on the Pacific parent.
+func Table2Config() *nest.Domain {
+	root := nest.Root("table2", PacificParentNX, PacificParentNY)
+	root.AddChild("sibling1", 394, 418, PacificRatio, 5, 5)
+	root.AddChild("sibling2", 232, 202, PacificRatio, 150, 10)
+	root.AddChild("sibling3", 232, 256, PacificRatio, 10, 160)
+	root.AddChild("sibling4", 313, 337, PacificRatio, 140, 150)
+	return root
+}
+
+// Fig10Config returns the 3-large-sibling configuration of Fig. 10:
+// 586x643, 856x919 and 925x850. The parent is enlarged so the large
+// footprints fit.
+func Fig10Config() *nest.Domain {
+	root := nest.Root("fig10", 640, 660)
+	root.AddChild("large1", 586, 643, PacificRatio, 10, 10)
+	root.AddChild("large2", 856, 919, PacificRatio, 230, 10)
+	root.AddChild("large3", 925, 850, PacificRatio, 10, 330)
+	return root
+}
+
+// Fig15Config returns the two-sibling 259x229 configuration of the
+// scalability study of Fig. 15.
+func Fig15Config() *nest.Domain {
+	root := nest.Root("fig15", PacificParentNX, PacificParentNY)
+	root.AddChild("sibling1", 259, 229, PacificRatio, 10, 20)
+	root.AddChild("sibling2", 259, 229, PacificRatio, 150, 180)
+	return root
+}
+
+// Table3Configs returns three 3-sibling configuration families keyed by
+// their maximum nest size as in Table 3: 205x223, 394x418 and 925x820.
+func Table3Configs() map[string]*nest.Domain {
+	small := nest.Root("table3-small", PacificParentNX, PacificParentNY)
+	small.AddChild("s1", 205, 223, PacificRatio, 10, 10)
+	small.AddChild("s2", 178, 202, PacificRatio, 120, 30)
+	small.AddChild("s3", 190, 210, PacificRatio, 60, 150)
+
+	mid := nest.Root("table3-mid", PacificParentNX, PacificParentNY)
+	mid.AddChild("m1", 394, 418, PacificRatio, 5, 5)
+	mid.AddChild("m2", 320, 340, PacificRatio, 150, 20)
+	mid.AddChild("m3", 350, 300, PacificRatio, 40, 160)
+
+	large := nest.Root("table3-large", 640, 660)
+	large.AddChild("l1", 925, 820, PacificRatio, 10, 10)
+	large.AddChild("l2", 780, 840, PacificRatio, 320, 10)
+	large.AddChild("l3", 820, 800, PacificRatio, 10, 300)
+
+	return map[string]*nest.Domain{
+		"205x223": small,
+		"394x418": mid,
+		"925x820": large,
+	}
+}
+
+// Fig2Config returns the Fig. 2 scalability configuration: the Pacific
+// parent with a single 415x445 nest.
+func Fig2Config() *nest.Domain {
+	root := nest.Root("fig2", PacificParentNX, PacificParentNY)
+	root.AddChild("nest", 415, 445, PacificRatio, 50, 50)
+	return root
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

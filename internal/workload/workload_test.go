@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRandomSiblingRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		nx, ny := RandomSibling(rng)
+		points := nx * ny
+		aspect := float64(nx) / float64(ny)
+		// Rounding can push slightly beyond the nominal range.
+		if float64(points) < MinNestPoints*0.9 || float64(points) > MaxNestPoints*1.1 {
+			t.Fatalf("points %d outside range", points)
+		}
+		if aspect < MinAspect*0.85 || aspect > MaxAspect*1.15 {
+			t.Fatalf("aspect %v outside range", aspect)
+		}
+	}
+}
+
+func TestRandomPacificValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		k := 2 + rng.Intn(3)
+		cfg := RandomPacific(rng, k)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		if len(cfg.Children) != k {
+			t.Fatalf("config %d: %d siblings, want %d", i, len(cfg.Children), k)
+		}
+		if cfg.NX != PacificParentNX || cfg.NY != PacificParentNY {
+			t.Fatalf("config %d: parent %dx%d", i, cfg.NX, cfg.NY)
+		}
+	}
+}
+
+func TestPacificSuiteDeterministic(t *testing.T) {
+	a := PacificSuite(123, 85)
+	b := PacificSuite(123, 85)
+	if len(a) != 85 || len(b) != 85 {
+		t.Fatal("suite size wrong")
+	}
+	for i := range a {
+		if a[i].Children[0].NX != b[i].Children[0].NX {
+			t.Fatalf("config %d differs between equal seeds", i)
+		}
+		if err := a[i].Validate(); err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+	}
+	c := PacificSuite(124, 85)
+	same := true
+	for i := range a {
+		if a[i].Children[0].NX != c[i].Children[0].NX ||
+			a[i].Children[0].NY != c[i].Children[0].NY {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical suites")
+	}
+}
+
+func TestSEAsiaSuite(t *testing.T) {
+	suite := SEAsiaSuite()
+	if len(suite) != 8 {
+		t.Fatalf("SE-Asia suite has %d configs, want 8 as in the paper", len(suite))
+	}
+	twoLevel := 0
+	for _, cfg := range suite {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if cfg.Depth() == 2 {
+			twoLevel++
+		}
+	}
+	if twoLevel != 3 {
+		t.Errorf("%d two-level configs, want 3 ('Three configurations had sibling domains at the second level')", twoLevel)
+	}
+}
+
+func TestNamedConfigs(t *testing.T) {
+	t2 := Table2Config()
+	if err := t2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(t2.Children) != 4 {
+		t.Fatalf("Table 2 config has %d siblings", len(t2.Children))
+	}
+	if t2.Children[0].NX != 394 || t2.Children[0].NY != 418 {
+		t.Error("Table 2 sibling 1 dims wrong")
+	}
+
+	f10 := Fig10Config()
+	if err := f10.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(f10.Children) != 3 {
+		t.Fatal("Fig 10 should have 3 siblings")
+	}
+
+	f15 := Fig15Config()
+	if err := f15.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range f15.Children {
+		if c.NX != 259 || c.NY != 229 {
+			t.Errorf("Fig 15 sibling = %dx%d, want 259x229", c.NX, c.NY)
+		}
+	}
+
+	f2 := Fig2Config()
+	if err := f2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f2.Children[0].NX != 415 {
+		t.Error("Fig 2 nest dims wrong")
+	}
+
+	t3 := Table3Configs()
+	if len(t3) != 3 {
+		t.Fatalf("Table 3 has %d families", len(t3))
+	}
+	for name, cfg := range t3 {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(cfg.Children) != 3 {
+			t.Errorf("%s: %d siblings, want 3", name, len(cfg.Children))
+		}
+	}
+	// Family keys must reflect the actual maximum sibling.
+	if t3["925x820"].Children[0].NX != 925 {
+		t.Error("large family should lead with the 925x820 nest")
+	}
+}
+
+// Siblings of random configs should rarely overlap (placement retries).
+func TestRandomPlacementMostlyDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	overlapping, total := 0, 0
+	for i := 0; i < 50; i++ {
+		cfg := RandomPacific(rng, 2)
+		a, b := cfg.Children[0], cfg.Children[1]
+		ax2 := a.OffX + a.FootprintX()
+		ay2 := a.OffY + a.FootprintY()
+		bx2 := b.OffX + b.FootprintX()
+		by2 := b.OffY + b.FootprintY()
+		if a.OffX < bx2 && b.OffX < ax2 && a.OffY < by2 && b.OffY < ay2 {
+			overlapping++
+		}
+		total++
+	}
+	if overlapping > total/2 {
+		t.Errorf("%d/%d configs have overlapping siblings", overlapping, total)
+	}
+}
+
+func TestAspectPointsDistribution(t *testing.T) {
+	// Statistical sanity: mean aspect near 1.0, mean points near middle.
+	rng := rand.New(rand.NewSource(11))
+	var sumA, sumP float64
+	n := 2000
+	for i := 0; i < n; i++ {
+		nx, ny := RandomSibling(rng)
+		sumA += float64(nx) / float64(ny)
+		sumP += float64(nx * ny)
+	}
+	meanA, meanP := sumA/float64(n), sumP/float64(n)
+	if math.Abs(meanA-1.0) > 0.1 {
+		t.Errorf("mean aspect %v, want ~1.0", meanA)
+	}
+	mid := (MinNestPoints + MaxNestPoints) / 2.0
+	if math.Abs(meanP-mid)/mid > 0.1 {
+		t.Errorf("mean points %v, want ~%v", meanP, mid)
+	}
+}

@@ -1,0 +1,388 @@
+package wrfsim
+
+import (
+	"fmt"
+	"sort"
+
+	"nestwrf/internal/mpi"
+	"nestwrf/internal/nest"
+	"nestwrf/internal/solver"
+	"nestwrf/internal/vtopo"
+)
+
+// floorDiv is integer division rounding toward negative infinity, used
+// to map child halo coordinates (which can be -1) to parent cells.
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ownerOf returns the rank (in the given process grid) owning global
+// cell (gx, gy) of an nx x ny domain under the block decomposition of
+// solver.Decompose.
+func ownerOf(nx, ny int, grid vtopo.Grid, gx, gy int) int {
+	return grid.Rank(ownerIdx(nx, grid.Px, gx), ownerIdx(ny, grid.Py, gy))
+}
+
+// ownerIdx inverts solver.Decompose's share function along one
+// dimension.
+func ownerIdx(n, parts, g int) int {
+	base := n / parts
+	rem := n % parts
+	// The first rem parts have size base+1.
+	bound := rem * (base + 1)
+	if g < bound {
+		return g / (base + 1)
+	}
+	if base == 0 {
+		return rem // degenerate: more parts than cells
+	}
+	return rem + (g-bound)/base
+}
+
+// bcTransfer is one (src, dst) message of the boundary-condition
+// exchange: parent cells read at src, halo cells written at dst.
+type bcTransfer struct {
+	src, dst int      // world ranks
+	pcells   [][2]int // parent global cells, in message order
+	hcells   [][2]int // child halo cells (child-global), in message order
+}
+
+// haloRing enumerates the child's halo-ring cells in canonical order.
+func haloRing(c *nest.Domain) [][2]int {
+	var out [][2]int
+	for x := -1; x <= c.NX; x++ {
+		out = append(out, [2]int{x, -1}, [2]int{x, c.NY})
+	}
+	for y := 0; y < c.NY; y++ {
+		out = append(out, [2]int{-1, y}, [2]int{c.NX, y})
+	}
+	return out
+}
+
+// bcPattern computes the full deterministic BC exchange pattern of one
+// nest: which world rank sends which parent cells to which world rank.
+func bcPattern(cfg *nest.Domain, grid vtopo.Grid, nc *nestCtx) []*bcTransfer {
+	c := nc.d
+	byPair := map[[2]int]*bcTransfer{}
+	var order [][2]int
+	for _, hc := range haloRing(c) {
+		hx, hy := hc[0], hc[1]
+		// Owning child rank: the tile adjacent to the halo cell.
+		ox := clampInt(hx, 0, c.NX-1)
+		oy := clampInt(hy, 0, c.NY-1)
+		childLocal := ownerOf(c.NX, c.NY, nc.grid, ox, oy)
+		dst := nc.world[childLocal]
+		// Parent cell supplying the value.
+		pgx := clampInt(c.OffX+floorDiv(hx, c.Ratio), 0, cfg.NX-1)
+		pgy := clampInt(c.OffY+floorDiv(hy, c.Ratio), 0, cfg.NY-1)
+		src := ownerOf(cfg.NX, cfg.NY, grid, pgx, pgy)
+		key := [2]int{src, dst}
+		tr, ok := byPair[key]
+		if !ok {
+			tr = &bcTransfer{src: src, dst: dst}
+			byPair[key] = tr
+			order = append(order, key)
+		}
+		tr.pcells = append(tr.pcells, [2]int{pgx, pgy})
+		tr.hcells = append(tr.hcells, [2]int{hx, hy})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i][0] != order[j][0] {
+			return order[i][0] < order[j][0]
+		}
+		return order[i][1] < order[j][1]
+	})
+	out := make([]*bcTransfer, len(order))
+	for i, k := range order {
+		out[i] = byPair[k]
+	}
+	return out
+}
+
+// exchangeBC moves parent boundary values to the nest's halo owners and
+// stores them in nc.bc (cleared first). Every rank participates as a
+// potential sender; only nest members receive.
+func exchangeBC(p *mpi.Proc, world *mpi.Comm, grid vtopo.Grid, parent *solver.Tile, nc *nestCtx, cfg *nest.Domain) error {
+	me := world.Rank()
+	pattern := bcPattern(cfg, grid, nc)
+	tag := tagBC + nc.idx
+
+	if nc.tile != nil {
+		nc.bc = nc.bc[:0]
+	}
+
+	// Post sends (and handle self-transfers locally).
+	for _, tr := range pattern {
+		if tr.src == me {
+			data := make([]float64, 0, 3*len(tr.pcells))
+			for _, pc := range tr.pcells {
+				h, hu, hv := parent.Cell(pc[0]-parent.X0, pc[1]-parent.Y0)
+				data = append(data, h, hu, hv)
+			}
+			if tr.dst == me {
+				storeBC(nc, tr, data)
+				continue
+			}
+			world.Send(tr.dst, tag, data)
+		}
+	}
+	// Receive in deterministic pattern order.
+	for _, tr := range pattern {
+		if tr.dst != me || tr.src == me {
+			continue
+		}
+		data, err := world.Recv(tr.src, tag)
+		if err != nil {
+			return err
+		}
+		if len(data) != 3*len(tr.pcells) {
+			return fmt.Errorf("wrfsim: BC payload %d for %d cells", len(data), len(tr.pcells))
+		}
+		storeBC(nc, tr, data)
+	}
+	return nil
+}
+
+// storeBC appends received boundary values as local halo cells of the
+// receiving rank's nest tile.
+func storeBC(nc *nestCtx, tr *bcTransfer, data []float64) {
+	t := nc.tile
+	for i, hc := range tr.hcells {
+		nc.bc = append(nc.bc, bcCell{
+			lx: hc[0] - t.X0,
+			ly: hc[1] - t.Y0,
+			h:  data[3*i],
+			hu: data[3*i+1],
+			hv: data[3*i+2],
+		})
+	}
+}
+
+// fbEntry is one parent cell's partial feedback from one child rank:
+// the intersection of the child-cell block with that rank's tile.
+type fbEntry struct {
+	pcell  [2]int // parent global cell
+	x0, y0 int    // child-global intersection origin
+	w, h   int
+}
+
+// fbTransfer is one (src, dst) message of the feedback exchange.
+type fbTransfer struct {
+	src, dst int
+	entries  []fbEntry
+}
+
+// fbPattern computes the deterministic feedback pattern of one nest.
+func fbPattern(cfg *nest.Domain, grid vtopo.Grid, nc *nestCtx) []*fbTransfer {
+	c := nc.d
+	byPair := map[[2]int]*fbTransfer{}
+	var order [][2]int
+	// Child tile rectangles by nest-local rank.
+	tiles := make([][4]int, nc.grid.Size())
+	for r := range tiles {
+		x0, y0, w, h := solver.Decompose(c.NX, c.NY, nc.grid, r)
+		tiles[r] = [4]int{x0, y0, w, h}
+	}
+	for py := c.OffY; py < c.OffY+c.FootprintY(); py++ {
+		for px := c.OffX; px < c.OffX+c.FootprintX(); px++ {
+			dst := ownerOf(cfg.NX, cfg.NY, grid, px, py)
+			// Child-cell block of this parent cell.
+			bx0 := (px - c.OffX) * c.Ratio
+			by0 := (py - c.OffY) * c.Ratio
+			bx1 := min(bx0+c.Ratio, c.NX)
+			by1 := min(by0+c.Ratio, c.NY)
+			for r, tl := range tiles {
+				ix0 := max(bx0, tl[0])
+				iy0 := max(by0, tl[1])
+				ix1 := min(bx1, tl[0]+tl[2])
+				iy1 := min(by1, tl[1]+tl[3])
+				if ix0 >= ix1 || iy0 >= iy1 {
+					continue
+				}
+				src := nc.world[r]
+				key := [2]int{src, dst}
+				tr, ok := byPair[key]
+				if !ok {
+					tr = &fbTransfer{src: src, dst: dst}
+					byPair[key] = tr
+					order = append(order, key)
+				}
+				tr.entries = append(tr.entries, fbEntry{
+					pcell: [2]int{px, py},
+					x0:    ix0, y0: iy0, w: ix1 - ix0, h: iy1 - iy0,
+				})
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i][0] != order[j][0] {
+			return order[i][0] < order[j][0]
+		}
+		return order[i][1] < order[j][1]
+	})
+	out := make([]*fbTransfer, len(order))
+	for i, k := range order {
+		out[i] = byPair[k]
+	}
+	return out
+}
+
+// exchangeFeedback averages each nest's solution back onto the parent
+// cells it overlaps: child owners send partial sums, parent owners
+// accumulate and normalize.
+func exchangeFeedback(p *mpi.Proc, world *mpi.Comm, grid vtopo.Grid, parent *solver.Tile, nc *nestCtx, cfg *nest.Domain) error {
+	me := world.Rank()
+	pattern := fbPattern(cfg, grid, nc)
+	tag := tagFeedback + nc.idx
+
+	// acc accumulates (sumH, sumHU, sumHV, count) per parent cell.
+	type acc struct {
+		h, hu, hv float64
+		n         float64
+	}
+	sums := map[[2]int]*acc{}
+
+	apply := func(tr *fbTransfer, data []float64) {
+		for i, e := range tr.entries {
+			a, ok := sums[e.pcell]
+			if !ok {
+				a = &acc{}
+				sums[e.pcell] = a
+			}
+			a.h += data[4*i]
+			a.hu += data[4*i+1]
+			a.hv += data[4*i+2]
+			a.n += data[4*i+3]
+		}
+	}
+
+	for _, tr := range pattern {
+		if tr.src == me {
+			data := make([]float64, 0, 4*len(tr.entries))
+			for _, e := range tr.entries {
+				var sh, shu, shv float64
+				for y := e.y0; y < e.y0+e.h; y++ {
+					for x := e.x0; x < e.x0+e.w; x++ {
+						h, hu, hv := nc.tile.Cell(x-nc.tile.X0, y-nc.tile.Y0)
+						sh += h
+						shu += hu
+						shv += hv
+					}
+				}
+				data = append(data, sh, shu, shv, float64(e.w*e.h))
+			}
+			if tr.dst == me {
+				apply(tr, data)
+				continue
+			}
+			world.Send(tr.dst, tag, data)
+		}
+	}
+	for _, tr := range pattern {
+		if tr.dst != me || tr.src == me {
+			continue
+		}
+		data, err := world.Recv(tr.src, tag)
+		if err != nil {
+			return err
+		}
+		if len(data) != 4*len(tr.entries) {
+			return fmt.Errorf("wrfsim: feedback payload %d for %d entries", len(data), len(tr.entries))
+		}
+		apply(tr, data)
+	}
+
+	// Write the averaged values into the owned parent cells.
+	for pc, a := range sums {
+		if a.n == 0 {
+			continue
+		}
+		parent.SetHaloCell(pc[0]-parent.X0, pc[1]-parent.Y0, a.h/a.n, a.hu/a.n, a.hv/a.n)
+	}
+	return nil
+}
+
+// collectStates gathers the parent and all nest states at world rank 0.
+func collectStates(world *mpi.Comm, grid vtopo.Grid, parent *solver.Tile, nests []*nestCtx, out *Output) error {
+	st, err := solver.Gather(world, parent)
+	if err != nil {
+		return err
+	}
+	if st != nil {
+		out.Parent = st
+	}
+	for i, nc := range nests {
+		tag := tagState + i
+		if nc.tile != nil {
+			sub, err := solver.Gather(nc.comm, nc.tile)
+			if err != nil {
+				return err
+			}
+			if sub != nil { // nest-comm root
+				root := nc.world[0]
+				if root == 0 {
+					out.Nests[i] = sub
+					continue
+				}
+				if world.Rank() == root {
+					world.Send(0, tag, encodeState(sub))
+				}
+			}
+		}
+		if world.Rank() == 0 && nc.world[0] != 0 {
+			data, err := world.Recv(nc.world[0], tag)
+			if err != nil {
+				return err
+			}
+			out.Nests[i] = decodeState(data)
+		}
+	}
+	return nil
+}
+
+func encodeState(s *solver.State) []float64 {
+	out := make([]float64, 0, 2+3*len(s.H))
+	out = append(out, float64(s.NX), float64(s.NY))
+	out = append(out, s.H...)
+	out = append(out, s.HU...)
+	out = append(out, s.HV...)
+	return out
+}
+
+func decodeState(d []float64) *solver.State {
+	nx, ny := int(d[0]), int(d[1])
+	n := nx * ny
+	s := solver.NewState(nx, ny)
+	copy(s.H, d[2:2+n])
+	copy(s.HU, d[2+n:2+2*n])
+	copy(s.HV, d[2+2*n:2+3*n])
+	return s
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

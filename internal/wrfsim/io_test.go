@@ -1,0 +1,110 @@
+package wrfsim
+
+import (
+	"testing"
+)
+
+func ioOpts(s Strategy) Options {
+	o := baseOptsForIO(s)
+	o.OutputEverySteps = 1 // high-frequency output, the paper's §4.5 regime
+	return o
+}
+
+func baseOptsForIO(s Strategy) Options {
+	return Options{
+		Ranks:     32,
+		Steps:     3,
+		Strategy:  s,
+		PointCost: 1e-6,
+	}
+}
+
+func TestOutputsCaptured(t *testing.T) {
+	out, err := Run(testConfig(), ioOpts(Sequential))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 steps x (parent + 2 nests) = 9 records.
+	if len(out.Snapshots) != 9 {
+		t.Fatalf("snapshots = %d, want 9", len(out.Snapshots))
+	}
+	// Deterministic order: by step then domain name.
+	for i := 1; i < len(out.Snapshots); i++ {
+		a, b := out.Snapshots[i-1], out.Snapshots[i]
+		if a.Step > b.Step || (a.Step == b.Step && a.Domain > b.Domain) {
+			t.Fatalf("snapshots unordered at %d: %v then %v", i, a, b)
+		}
+	}
+	// Snapshot dims match the domains.
+	for _, s := range out.Snapshots {
+		switch s.Domain {
+		case "parent":
+			if s.State.NX != 64 {
+				t.Errorf("parent snapshot %dx%d", s.State.NX, s.State.NY)
+			}
+		case "nest1":
+			if s.State.NX != 60 || s.State.NY != 48 {
+				t.Errorf("nest1 snapshot %dx%d", s.State.NX, s.State.NY)
+			}
+		}
+	}
+}
+
+// The paper's I/O claim, functionally: with high-frequency output, the
+// concurrent strategy's partition-sized writer groups and overlapped
+// sibling writes beat the sequential strategy's all-rank writes.
+func TestConcurrentIOFasterFunctionally(t *testing.T) {
+	seq, err := Run(testConfig(), ioOpts(Sequential))
+	if err != nil {
+		t.Fatal(err)
+	}
+	con, err := Run(testConfig(), ioOpts(Concurrent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical forecasts on disk.
+	if len(seq.Snapshots) != len(con.Snapshots) {
+		t.Fatalf("snapshot counts differ: %d vs %d", len(seq.Snapshots), len(con.Snapshots))
+	}
+	for i := range seq.Snapshots {
+		a, b := seq.Snapshots[i], con.Snapshots[i]
+		if a.Domain != b.Domain || a.Step != b.Step {
+			t.Fatalf("snapshot %d metadata differs: %v vs %v", i, a, b)
+		}
+		if d := a.State.MaxDiff(b.State); d > 1e-9 {
+			t.Errorf("snapshot %d (%s step %d) differs by %v", i, a.Domain, a.Step, d)
+		}
+	}
+	t.Logf("makespan with output every step: sequential %.6f, concurrent %.6f",
+		seq.MaxClock, con.MaxClock)
+	if con.MaxClock >= seq.MaxClock {
+		t.Errorf("concurrent with I/O %.6f should beat sequential %.6f", con.MaxClock, seq.MaxClock)
+	}
+	// Output must cost something: compare with a no-output run.
+	noIO, err := Run(testConfig(), baseOptsForIO(Sequential))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.MaxClock <= noIO.MaxClock {
+		t.Error("output events should add virtual time")
+	}
+}
+
+func TestOutputIntervalRespected(t *testing.T) {
+	opt := baseOptsForIO(Sequential)
+	opt.Steps = 4
+	opt.OutputEverySteps = 2
+	out, err := Run(testConfig(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Outputs at steps 2 and 4 only: 2 events x 3 domains.
+	if len(out.Snapshots) != 6 {
+		t.Fatalf("snapshots = %d, want 6", len(out.Snapshots))
+	}
+	for _, s := range out.Snapshots {
+		if s.Step != 2 && s.Step != 4 {
+			t.Errorf("unexpected output step %d", s.Step)
+		}
+	}
+}
