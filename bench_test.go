@@ -7,6 +7,7 @@ package nestwrf_test
 // `go test -bench=. -benchmem` regenerates the entire evaluation.
 
 import (
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -59,6 +60,33 @@ func BenchmarkBGQ5DFold(b *testing.B)          { benchExperiment(b, "bgq") }
 func BenchmarkCampaign(b *testing.B)           { benchExperiment(b, "campaign") }
 func BenchmarkSEAsia(b *testing.B)             { benchExperiment(b, "seasia") }
 func BenchmarkSteering(b *testing.B)           { benchExperiment(b, "steer") }
+
+// benchAll regenerates the entire evaluation with the given fan-out
+// (experiment-level and intra-experiment). Comparing the two
+// benchmarks below shows the harness speedup on multi-core hardware;
+// the rendered output is byte-identical either way.
+func benchAll(b *testing.B, parallel int) {
+	prev := experiments.Parallelism()
+	experiments.SetParallelism(parallel)
+	defer experiments.SetParallelism(prev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, o := range experiments.RunAll(parallel) {
+			if o.Err != nil {
+				b.Fatalf("%s: %v", o.Experiment.ID, o.Err)
+			}
+			if len(o.Table.Rows) == 0 {
+				b.Fatalf("%s produced no rows", o.Experiment.ID)
+			}
+		}
+	}
+}
+
+func BenchmarkAllExperimentsSequential(b *testing.B) { benchAll(b, 1) }
+
+func BenchmarkAllExperimentsParallel(b *testing.B) {
+	benchAll(b, runtime.GOMAXPROCS(0))
+}
 
 // Component micro-benchmarks: the costs of the paper's pipeline pieces.
 

@@ -3,26 +3,40 @@
 //
 // Usage:
 //
-//	experiments -list            # list experiment ids
-//	experiments -run fig8        # run one experiment
-//	experiments -all             # run everything (text)
-//	experiments -all -md         # run everything (markdown, for EXPERIMENTS.md)
+//	experiments -list                # list experiment ids
+//	experiments -run fig8            # run one experiment
+//	experiments -run fig8,tab1,nsib  # run several, in the given order
+//	experiments -all                 # run everything (text)
+//	experiments -all -md             # run everything (markdown, for EXPERIMENTS.md)
+//	experiments -all -parallel 8     # fan out over 8 workers (same output)
+//
+// Experiments are fanned out over -parallel workers (default: the
+// number of CPUs), and the heavy experiments additionally fan out over
+// their independent configurations. Virtual time keeps every result
+// deterministic, so the output is byte-identical to -parallel 1.
+//
+// -all runs every experiment even when some fail; the failures are
+// summarized on stderr and the exit status is non-zero.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 
 	"nestwrf/internal/experiments"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
-	run := flag.String("run", "", "run a single experiment by id")
+	run := flag.String("run", "", "run experiments by id (comma-separated list)")
 	all := flag.Bool("all", false, "run every experiment")
 	md := flag.Bool("md", false, "emit markdown instead of aligned text")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent experiments and per-experiment configurations")
 	flag.Parse()
+	experiments.SetParallelism(*parallel)
 
 	switch {
 	case *list:
@@ -30,37 +44,62 @@ func main() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
 		}
 	case *run != "":
-		e, ok := experiments.ByID(*run)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *run)
+		exps, err := selectExperiments(*run)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v; try -list\n", err)
 			os.Exit(2)
 		}
-		if err := emit(e, *md); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		os.Exit(emitAll(experiments.RunConcurrent(exps, *parallel), *md))
 	case *all:
-		for _, e := range experiments.All() {
-			if err := emit(e, *md); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-		}
+		os.Exit(emitAll(experiments.RunAll(*parallel), *md))
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func emit(e experiments.Experiment, md bool) error {
-	t, err := e.Run()
-	if err != nil {
-		return fmt.Errorf("%s: %w", e.ID, err)
+// selectExperiments resolves a comma-separated id list in the order
+// given.
+func selectExperiments(spec string) ([]experiments.Experiment, error) {
+	var exps []experiments.Experiment
+	for _, id := range strings.Split(spec, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		e, ok := experiments.ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q", id)
+		}
+		exps = append(exps, e)
 	}
-	if md {
-		fmt.Println(t.Markdown())
-	} else {
-		fmt.Println(t.String())
+	if len(exps) == 0 {
+		return nil, fmt.Errorf("no experiment ids in %q", spec)
 	}
-	return nil
+	return exps, nil
+}
+
+// emitAll prints every successful table in order, reports failures on
+// stderr, and returns the process exit code: 0 when everything
+// succeeded, 1 otherwise.
+func emitAll(outcomes []experiments.Outcome, md bool) int {
+	var failed []string
+	for _, o := range outcomes {
+		if o.Err != nil {
+			failed = append(failed, o.Experiment.ID)
+			fmt.Fprintf(os.Stderr, "%s: %v\n", o.Experiment.ID, o.Err)
+			continue
+		}
+		if md {
+			fmt.Println(o.Table.Markdown())
+		} else {
+			fmt.Println(o.Table.String())
+		}
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "%d of %d experiments failed: %s\n",
+			len(failed), len(outcomes), strings.Join(failed, ", "))
+		return 1
+	}
+	return 0
 }

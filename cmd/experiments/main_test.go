@@ -3,59 +3,101 @@ package main
 import (
 	"bytes"
 	"os"
+	"strings"
 	"testing"
 
 	"nestwrf/internal/experiments"
 )
 
-// capture runs fn with stdout redirected and returns what it printed.
-func capture(t *testing.T, fn func() error) (string, error) {
+// capture runs fn with stdout and stderr redirected and returns what it
+// printed to each.
+func capture(t *testing.T, fn func()) (stdout, stderr string) {
 	t.Helper()
-	old := os.Stdout
-	r, w, err := os.Pipe()
+	oldOut, oldErr := os.Stdout, os.Stderr
+	ro, wo, err := os.Pipe()
 	if err != nil {
 		t.Fatal(err)
 	}
-	os.Stdout = w
-	ferr := fn()
-	w.Close()
-	os.Stdout = old
-	var buf bytes.Buffer
-	if _, err := buf.ReadFrom(r); err != nil {
+	re, we, err := os.Pipe()
+	if err != nil {
 		t.Fatal(err)
 	}
-	return buf.String(), ferr
+	os.Stdout, os.Stderr = wo, we
+	fn()
+	wo.Close()
+	we.Close()
+	os.Stdout, os.Stderr = oldOut, oldErr
+	var bo, be bytes.Buffer
+	if _, err := bo.ReadFrom(ro); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.ReadFrom(re); err != nil {
+		t.Fatal(err)
+	}
+	return bo.String(), be.String()
+}
+
+// runIDs executes the named registered experiments sequentially.
+func runIDs(t *testing.T, ids ...string) []experiments.Outcome {
+	t.Helper()
+	exps, err := selectExperiments(strings.Join(ids, ","))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return experiments.RunConcurrent(exps, 1)
 }
 
 func TestEmitText(t *testing.T) {
-	e, ok := experiments.ByID("fig3")
-	if !ok {
-		t.Fatal("fig3 not registered")
-	}
-	out, err := capture(t, func() error { return emit(e, false) })
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Contains([]byte(out), []byte("== fig3:")) {
+	out, _ := capture(t, func() {
+		if code := emitAll(runIDs(t, "fig3"), false); code != 0 {
+			t.Errorf("exit code = %d", code)
+		}
+	})
+	if !strings.Contains(out, "== fig3:") {
 		t.Errorf("text output missing header:\n%s", out)
 	}
 }
 
 func TestEmitMarkdown(t *testing.T) {
-	e, ok := experiments.ByID("fig4")
-	if !ok {
-		t.Fatal("fig4 not registered")
-	}
-	out, err := capture(t, func() error { return emit(e, true) })
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Contains([]byte(out), []byte("### fig4:")) {
+	out, _ := capture(t, func() {
+		if code := emitAll(runIDs(t, "fig4"), true); code != 0 {
+			t.Errorf("exit code = %d", code)
+		}
+	})
+	if !strings.Contains(out, "### fig4:") {
 		t.Errorf("markdown output missing header:\n%s", out)
 	}
 }
 
-func TestEmitPropagatesErrors(t *testing.T) {
+func TestSelectExperimentsList(t *testing.T) {
+	exps, err := selectExperiments("fig4, fig3,fig56")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]string, len(exps))
+	for i, e := range exps {
+		got[i] = e.ID
+	}
+	want := []string{"fig4", "fig3", "fig56"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("selected %v, want %v (order preserved)", got, want)
+		}
+	}
+}
+
+func TestSelectExperimentsUnknown(t *testing.T) {
+	if _, err := selectExperiments("fig3,nope"); err == nil {
+		t.Error("unknown id should fail")
+	}
+	if _, err := selectExperiments(",,"); err == nil {
+		t.Error("empty list should fail")
+	}
+}
+
+// emitAll must keep going past a failing experiment, print the
+// surviving tables, summarize the failures, and return non-zero.
+func TestEmitAllContinuesPastFailure(t *testing.T) {
 	broken := experiments.Experiment{
 		ID:    "broken",
 		Title: "always fails",
@@ -63,7 +105,20 @@ func TestEmitPropagatesErrors(t *testing.T) {
 			return nil, os.ErrInvalid
 		},
 	}
-	if _, err := capture(t, func() error { return emit(broken, false) }); err == nil {
-		t.Error("emit should propagate experiment errors")
+	fig3, ok := experiments.ByID("fig3")
+	if !ok {
+		t.Fatal("fig3 not registered")
+	}
+	outcomes := experiments.RunConcurrent([]experiments.Experiment{broken, fig3}, 1)
+	out, errOut := capture(t, func() {
+		if code := emitAll(outcomes, false); code != 1 {
+			t.Errorf("exit code = %d, want 1", code)
+		}
+	})
+	if !strings.Contains(out, "== fig3:") {
+		t.Errorf("fig3 should still be printed after the failure:\n%s", out)
+	}
+	if !strings.Contains(errOut, "broken") || !strings.Contains(errOut, "1 of 2 experiments failed") {
+		t.Errorf("failure summary missing:\n%s", errOut)
 	}
 }

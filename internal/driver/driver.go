@@ -206,11 +206,26 @@ func TrainPredictor(m machine.Machine) (*predict.Model, error) {
 // run tracks the state of one simulated iteration.
 type run struct {
 	opt     Options
+	pred    *predict.Model // resolved predictor, trained at most once per Run
 	mp      *mapping.Mapping
 	waitAvg []float64 // per-rank accumulated wait (average-case comm)
 	waitMax []float64 // per-rank accumulated wait (worst-case comm)
 	hopNum  float64   // hops weighted by communicating rank-steps
 	hopDen  float64
+}
+
+// predictor returns the run's predictor, training one from the machine's
+// cost model on first use. The caller's Options are never written to, so
+// a single Options value can safely configure concurrent Runs.
+func (r *run) predictor() (*predict.Model, error) {
+	if r.pred == nil {
+		p, err := TrainPredictor(r.opt.Machine)
+		if err != nil {
+			return nil, err
+		}
+		r.pred = p
+	}
+	return r.pred, nil
 }
 
 // Run simulates one parent iteration of the domain tree cfg under the
@@ -231,6 +246,13 @@ func Run(cfg *nest.Domain, opt Options) (Result, error) {
 		return Result{}, err
 	}
 
+	r := &run{
+		opt:     opt,
+		pred:    opt.Predictor,
+		waitAvg: make([]float64, opt.Ranks),
+		waitMax: make([]float64, opt.Ranks),
+	}
+
 	// The first-level partitions are needed up front: the partition
 	// mapping is defined by them.
 	var rects []alloc.Rect
@@ -238,22 +260,15 @@ func Run(cfg *nest.Domain, opt Options) (Result, error) {
 		if len(cfg.Children) == 0 {
 			return Result{}, ErrNoSiblings
 		}
-		rects, err = allocate(cfg.Children, g.Px, g.Py, &opt)
+		rects, err = r.allocate(cfg.Children, g.Px, g.Py)
 		if err != nil {
 			return Result{}, err
 		}
 	}
 
-	mp, err := buildMapping(opt.MapKind, g, tor, rects, opt.Machine)
+	r.mp, err = buildMapping(opt.MapKind, g, tor, rects, opt.Machine)
 	if err != nil {
 		return Result{}, err
-	}
-
-	r := &run{
-		opt:     opt,
-		mp:      mp,
-		waitAvg: make([]float64, opt.Ranks),
-		waitMax: make([]float64, opt.Ranks),
 	}
 
 	full, err := vtopo.NewSubgrid(g, alloc.Rect{W: g.Px, H: g.Py})
@@ -291,8 +306,8 @@ func Run(cfg *nest.Domain, opt Options) (Result, error) {
 }
 
 // allocate partitions a w x h processor rectangle among the children.
-func allocate(children []*nest.Domain, w, h int, opt *Options) ([]alloc.Rect, error) {
-	switch opt.Alloc {
+func (r *run) allocate(children []*nest.Domain, w, h int) ([]alloc.Rect, error) {
+	switch r.opt.Alloc {
 	case AllocEqual:
 		return alloc.EqualSplit(len(children), w, h)
 	case AllocNaivePoints:
@@ -302,26 +317,20 @@ func allocate(children []*nest.Domain, w, h int, opt *Options) ([]alloc.Rect, er
 		}
 		return alloc.NaiveStrips(weights, w, h)
 	case AllocStripsPredicted:
-		if opt.Predictor == nil {
-			p, err := TrainPredictor(opt.Machine)
-			if err != nil {
-				return nil, err
-			}
-			opt.Predictor = p
+		p, err := r.predictor()
+		if err != nil {
+			return nil, err
 		}
-		return alloc.NaiveStrips(opt.Predictor.Weights(children), w, h)
+		return alloc.NaiveStrips(p.Weights(children), w, h)
 	default: // AllocPredicted
-		if len(opt.FixedWeights) == len(children) {
-			return alloc.Partition(opt.FixedWeights, w, h)
+		if len(r.opt.FixedWeights) == len(children) {
+			return alloc.Partition(r.opt.FixedWeights, w, h)
 		}
-		if opt.Predictor == nil {
-			p, err := TrainPredictor(opt.Machine)
-			if err != nil {
-				return nil, err
-			}
-			opt.Predictor = p
+		p, err := r.predictor()
+		if err != nil {
+			return nil, err
 		}
-		return alloc.Partition(opt.Predictor.Weights(children), w, h)
+		return alloc.Partition(p.Weights(children), w, h)
 	}
 }
 
@@ -393,7 +402,7 @@ func (r *run) domainIter(d *nest.Domain, sg vtopo.Subgrid, rects []alloc.Rect, m
 	case Concurrent:
 		var err error
 		if rects == nil {
-			rects, err = allocate(d.Children, sg.Rect.W, sg.Rect.H, &r.opt)
+			rects, err = r.allocate(d.Children, sg.Rect.W, sg.Rect.H)
 			if err != nil {
 				return 0, nil, err
 			}

@@ -3,6 +3,7 @@ package driver
 import (
 	"errors"
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -250,6 +251,55 @@ func TestGainShrinksWithNestSize(t *testing.T) {
 }
 
 // Determinism: the same run twice gives identical results.
+// Run must not write anything back into the caller's Options — in
+// particular it must not publish the predictor it trains when
+// Options.Predictor is nil (regression: allocate() used to store it
+// through the *Options pointer, a data race once two runs share an
+// Options value).
+func TestRunLeavesOptionsUnchanged(t *testing.T) {
+	cfg := workload.Table2Config()
+	for _, alloc := range []AllocPolicy{AllocPredicted, AllocStripsPredicted} {
+		opt := bglOpts(Concurrent, MapMultiLevel)
+		opt.Alloc = alloc
+		before := opt
+		if _, err := Run(cfg, opt); err != nil {
+			t.Fatalf("%v: %v", alloc, err)
+		}
+		if opt.Predictor != nil {
+			t.Errorf("%v: Run published a trained predictor into the caller's Options", alloc)
+		}
+		if !reflect.DeepEqual(opt, before) {
+			t.Errorf("%v: Options mutated by Run:\nbefore %+v\nafter  %+v", alloc, before, opt)
+		}
+	}
+}
+
+// A single Options value must be safe to share across concurrent Runs
+// (go test -race makes this a real hazard check).
+func TestConcurrentRunsShareOptions(t *testing.T) {
+	cfg := workload.Table2Config()
+	opt := bglOpts(Concurrent, MapSequential)
+	results := make([]Result, 4)
+	done := make(chan error, len(results))
+	for i := range results {
+		go func(i int) {
+			res, err := Run(cfg, opt)
+			results[i] = res
+			done <- err
+		}(i)
+	}
+	for range results {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].IterTime != results[0].IterTime {
+			t.Errorf("run %d iter time %v != run 0 %v (determinism lost)", i, results[i].IterTime, results[0].IterTime)
+		}
+	}
+}
+
 func TestRunDeterministic(t *testing.T) {
 	cfg := workload.Table2Config()
 	a := mustRun(t, cfg, bglOpts(Concurrent, MapMultiLevel))

@@ -54,13 +54,17 @@ func perIter85() (*Table, error) {
 		Header: []string{"metric", "ours", "paper"},
 	}
 	m := machine.BGL()
-	var imps []float64
-	for _, cfg := range workload.PacificSuite(2012, 85) {
-		seq, con, err := comparePair(cfg, m, 1024, driver.MapSequential, iosim.Split, 0)
+	configs := workload.PacificSuite(2012, 85)
+	imps := make([]float64, len(configs))
+	if err := forEach(len(configs), func(i int) error {
+		seq, con, err := comparePair(configs[i], m, 1024, driver.MapSequential, iosim.Split, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		imps = append(imps, stats.Improvement(seq.IterTime, con.IterTime))
+		imps[i] = stats.Improvement(seq.IterTime, con.IterTime)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	s := stats.Summarize(imps)
 	t.AddRow("average improvement", pct(s.Mean), "21.14%")
@@ -81,15 +85,31 @@ func fig8() (*Table, error) {
 	}
 	m := machine.BGP()
 	configs := workload.PacificSuite(88, 30)
-	for _, ranks := range []int{512, 1024, 2048, 4096} {
-		var ex, inc []float64
-		for _, cfg := range configs {
-			seq, con, err := comparePair(cfg, m, ranks, driver.MapSequential, iosim.Collective, 5)
-			if err != nil {
-				return nil, err
-			}
-			ex = append(ex, stats.Improvement(seq.IterTime, con.IterTime))
-			inc = append(inc, stats.Improvement(seq.Total(), con.Total()))
+	ranksList := []int{512, 1024, 2048, 4096}
+	// Flatten the ranks x configs sweep into one index space so the
+	// fan-out covers all 120 independent runs at once.
+	type cell struct{ ex, inc float64 }
+	cells := make([]cell, len(ranksList)*len(configs))
+	if err := forEach(len(cells), func(j int) error {
+		ranks, cfg := ranksList[j/len(configs)], configs[j%len(configs)]
+		seq, con, err := comparePair(cfg, m, ranks, driver.MapSequential, iosim.Collective, 5)
+		if err != nil {
+			return err
+		}
+		cells[j] = cell{
+			ex:  stats.Improvement(seq.IterTime, con.IterTime),
+			inc: stats.Improvement(seq.Total(), con.Total()),
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for ri, ranks := range ranksList {
+		ex := make([]float64, len(configs))
+		inc := make([]float64, len(configs))
+		for ci := range configs {
+			ex[ci] = cells[ri*len(configs)+ci].ex
+			inc[ci] = cells[ri*len(configs)+ci].inc
 		}
 		t.AddRow(fmt.Sprintf("%d", ranks), pct(stats.Mean(ex)), pct(stats.Mean(inc)))
 	}
@@ -123,16 +143,20 @@ func tab1() (*Table, error) {
 		{"4096 on BG/P", machine.BGP(), 4096},
 	}
 	configs := workload.PacificSuite(41, 20)
-	for _, row := range rows {
-		var imps []float64
-		for _, cfg := range configs {
-			seq, con, err := comparePair(cfg, row.m, row.ranks, driver.MapSequential, iosim.Split, 0)
-			if err != nil {
-				return nil, err
-			}
-			imps = append(imps, stats.Improvement(seq.WaitAvg, con.WaitAvg))
+	imps := make([]float64, len(rows)*len(configs))
+	if err := forEach(len(imps), func(j int) error {
+		row, cfg := rows[j/len(configs)], configs[j%len(configs)]
+		seq, con, err := comparePair(cfg, row.m, row.ranks, driver.MapSequential, iosim.Split, 0)
+		if err != nil {
+			return err
 		}
-		s := stats.Summarize(imps)
+		imps[j] = stats.Improvement(seq.WaitAvg, con.WaitAvg)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for ri, row := range rows {
+		s := stats.Summarize(imps[ri*len(configs) : (ri+1)*len(configs)])
 		p := paper[row.label]
 		t.AddRow(row.label, pct(s.Mean), pct(s.Max), p[0], p[1])
 	}
@@ -211,21 +235,24 @@ func nsib() (*Table, error) {
 	m := machine.BGL()
 	paper := map[int]string{2: "19.43%", 3: "-", 4: "24.22%"}
 	for _, k := range []int{2, 3, 4} {
-		var imps []float64
-		suite := workload.PacificSuite(int64(100+k), 40)
-		count := 0
-		for _, cfg := range suite {
-			if len(cfg.Children) != k {
-				continue
+		var matching []*nest.Domain
+		for _, cfg := range workload.PacificSuite(int64(100+k), 40) {
+			if len(cfg.Children) == k {
+				matching = append(matching, cfg)
 			}
-			count++
-			seq, con, err := comparePair(cfg, m, 1024, driver.MapSequential, iosim.Split, 0)
-			if err != nil {
-				return nil, err
-			}
-			imps = append(imps, stats.Improvement(seq.IterTime, con.IterTime))
 		}
-		t.AddRow(fmt.Sprintf("%d (n=%d)", k, count), pct(stats.Mean(imps)), paper[k])
+		imps := make([]float64, len(matching))
+		if err := forEach(len(matching), func(i int) error {
+			seq, con, err := comparePair(matching[i], m, 1024, driver.MapSequential, iosim.Split, 0)
+			if err != nil {
+				return err
+			}
+			imps[i] = stats.Improvement(seq.IterTime, con.IterTime)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d (n=%d)", k, len(matching)), pct(stats.Mean(imps)), paper[k])
 	}
 	t.AddNote("more siblings mean a longer sequential nest phase but an unchanged concurrent one, so the gain grows with the sibling count")
 	return t, nil
@@ -246,12 +273,19 @@ func tab3() (*Table, error) {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	for _, name := range names {
-		seq, con, err := comparePair(fams[name], m, 8192, driver.MapSequential, iosim.Split, 0)
+	imps := make([]float64, len(names))
+	if err := forEach(len(names), func(i int) error {
+		seq, con, err := comparePair(fams[names[i]], m, 8192, driver.MapSequential, iosim.Split, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.AddRow(name, pct(stats.Improvement(seq.IterTime, con.IterTime)), paper[name])
+		imps[i] = stats.Improvement(seq.IterTime, con.IterTime)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		t.AddRow(name, pct(imps[i]), paper[name])
 	}
 	t.AddNote("larger nests need more processors before partitioning helps (Table 3)")
 	return t, nil

@@ -8,9 +8,11 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"nestwrf/internal/driver"
 	"nestwrf/internal/machine"
@@ -158,22 +160,30 @@ func IDs() []string {
 
 // predictors are trained once per machine and shared across
 // experiments (the paper's 13 profiling runs are likewise done once).
+// The cache key covers the machine's full identity, not just its name:
+// two machines that share a name but differ in any cost-model parameter
+// must not share a predictor.
 var (
 	predMu    sync.Mutex
 	predCache = map[string]*predict.Model{}
 )
 
+// machineKey renders every field of m, so any cost-model difference
+// yields a distinct cache entry.
+func machineKey(m machine.Machine) string { return fmt.Sprintf("%#v", m) }
+
 func predictorFor(m machine.Machine) (*predict.Model, error) {
+	key := machineKey(m)
 	predMu.Lock()
 	defer predMu.Unlock()
-	if p, ok := predCache[m.Name]; ok {
+	if p, ok := predCache[key]; ok {
 		return p, nil
 	}
 	p, err := driver.TrainPredictor(m)
 	if err != nil {
 		return nil, err
 	}
-	predCache[m.Name] = p
+	predCache[key] = p
 	return p, nil
 }
 
@@ -197,9 +207,119 @@ func f(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
 
 func pct(v float64) string { return fmt.Sprintf("%.2f%%", v) }
 
-func min(a, b int) int {
-	if a < b {
-		return a
+// parallelism is the fan-out width for independent configurations
+// inside one experiment (forEach) — the harness-level counterpart of
+// the paper's concurrent siblings.
+var parallelism atomic.Int64
+
+func init() { parallelism.Store(int64(runtime.GOMAXPROCS(0))) }
+
+// Parallelism reports the current intra-experiment fan-out width.
+func Parallelism() int { return int(parallelism.Load()) }
+
+// SetParallelism sets how many goroutines an experiment may use for
+// independent configurations; n < 1 is clamped to 1 (sequential).
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
 	}
-	return b
+	parallelism.Store(int64(n))
 }
+
+// forEach runs fn(i) for every i in [0, n), fanning out over at most
+// Parallelism() goroutines. Callers write results to slot i of a
+// pre-sized slice, so aggregate output is identical to a sequential
+// loop (virtual time keeps each body deterministic). When several
+// bodies fail, the error of the smallest index wins — again matching
+// what a sequential loop would have reported.
+func forEach(n int, fn func(i int) error) error {
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		errIdx = n
+		first  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, first = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// Outcome pairs an experiment with its result or error.
+type Outcome struct {
+	Experiment Experiment
+	Table      *Table
+	Err        error
+}
+
+// RunConcurrent executes the given experiments, fanning them out over
+// at most parallel goroutines (parallel <= 1 runs them sequentially).
+// Outcomes keep the input order regardless of completion order, so
+// rendering them in sequence is byte-identical to a sequential run.
+func RunConcurrent(exps []Experiment, parallel int) []Outcome {
+	out := make([]Outcome, len(exps))
+	if parallel > len(exps) {
+		parallel = len(exps)
+	}
+	if parallel <= 1 {
+		for i, e := range exps {
+			tbl, err := e.Run()
+			out[i] = Outcome{Experiment: e, Table: tbl, Err: err}
+		}
+		return out
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(exps) {
+					return
+				}
+				tbl, err := exps[i].Run()
+				out[i] = Outcome{Experiment: exps[i], Table: tbl, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// RunAll executes every registered experiment in the paper's
+// presentation order with the given experiment-level fan-out.
+func RunAll(parallel int) []Outcome { return RunConcurrent(All(), parallel) }

@@ -1,9 +1,13 @@
 package experiments
 
 import (
+	"errors"
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
+
+	"nestwrf/internal/machine"
 )
 
 func TestRegistryComplete(t *testing.T) {
@@ -161,6 +165,154 @@ func TestHeadlineBands(t *testing.T) {
 				ours, naive, equal, def)
 		}
 	})
+}
+
+// Two machines that share a name but differ in a cost-model field must
+// not share a cached predictor (regression: the cache used to be keyed
+// by Name alone).
+func TestPredictorCacheKeyedByMachineIdentity(t *testing.T) {
+	a := machine.BGL()
+	b := machine.BGL()
+	b.PointCost *= 2 // same Name, different cost model
+	pa, err := predictorFor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := predictorFor(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa == pb {
+		t.Fatal("same-name machines with different cost models share a predictor")
+	}
+	again, err := predictorFor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != pa {
+		t.Error("identical machine should hit the cache")
+	}
+}
+
+func TestSetParallelismClamp(t *testing.T) {
+	prev := Parallelism()
+	defer SetParallelism(prev)
+	SetParallelism(0)
+	if Parallelism() != 1 {
+		t.Errorf("Parallelism() = %d after SetParallelism(0), want 1", Parallelism())
+	}
+	SetParallelism(7)
+	if Parallelism() != 7 {
+		t.Errorf("Parallelism() = %d, want 7", Parallelism())
+	}
+}
+
+func TestForEach(t *testing.T) {
+	prev := Parallelism()
+	defer SetParallelism(prev)
+	for _, workers := range []int{1, 4} {
+		SetParallelism(workers)
+		out := make([]int, 100)
+		if err := forEach(len(out), func(i int) error {
+			out[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// When several indices fail, forEach must report the smallest index's
+// error — what a sequential loop would have returned.
+func TestForEachFirstErrorWins(t *testing.T) {
+	prev := Parallelism()
+	defer SetParallelism(prev)
+	SetParallelism(8)
+	err := forEach(50, func(i int) error {
+		if i%10 == 3 {
+			return fmt.Errorf("fail at %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "fail at 3" {
+		t.Errorf("err = %v, want the smallest-index failure", err)
+	}
+}
+
+// RunConcurrent must keep outcomes in input order and capture errors
+// without aborting the remaining experiments.
+func TestRunConcurrentOrderAndErrors(t *testing.T) {
+	boom := errors.New("boom")
+	var exps []Experiment
+	for i := 0; i < 8; i++ {
+		i := i
+		exps = append(exps, Experiment{
+			ID:    fmt.Sprintf("e%d", i),
+			Title: "fake",
+			Run: func() (*Table, error) {
+				if i == 2 {
+					return nil, boom
+				}
+				return &Table{ID: fmt.Sprintf("e%d", i)}, nil
+			},
+		})
+	}
+	for _, parallel := range []int{1, 4} {
+		outcomes := RunConcurrent(exps, parallel)
+		if len(outcomes) != len(exps) {
+			t.Fatalf("parallel=%d: %d outcomes", parallel, len(outcomes))
+		}
+		for i, o := range outcomes {
+			if o.Experiment.ID != fmt.Sprintf("e%d", i) {
+				t.Errorf("parallel=%d: outcome %d is %s (order lost)", parallel, i, o.Experiment.ID)
+			}
+			if i == 2 {
+				if !errors.Is(o.Err, boom) {
+					t.Errorf("parallel=%d: outcome 2 err = %v", parallel, o.Err)
+				}
+			} else if o.Err != nil || o.Table == nil || o.Table.ID != o.Experiment.ID {
+				t.Errorf("parallel=%d: outcome %d = %+v", parallel, i, o)
+			}
+		}
+	}
+}
+
+// The heavy experiments fan out over their configurations; their
+// rendered tables must be byte-identical to the sequential run.
+func TestParallelOutputMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy determinism check skipped in -short mode")
+	}
+	heavy := []string{"periter", "fig8", "tab1", "nsib", "tab3"}
+	prev := Parallelism()
+	defer SetParallelism(prev)
+	render := func(workers int) string {
+		SetParallelism(workers)
+		var b strings.Builder
+		for _, id := range heavy {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("%s not registered", id)
+			}
+			tbl, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s (workers=%d): %v", id, workers, err)
+			}
+			b.WriteString(tbl.String())
+			b.WriteString(tbl.Markdown())
+		}
+		return b.String()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Error("parallel experiment output differs from sequential")
+	}
 }
 
 func TestTableRendering(t *testing.T) {

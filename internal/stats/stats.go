@@ -48,24 +48,24 @@ func Min(xs []float64) float64 {
 	return m
 }
 
-// Improvement returns the percentage improvement of new over old:
-// 100*(old-new)/old. Positive means new is faster.
-func Improvement(old, new float64) float64 {
+// Improvement returns the percentage improvement of cur over old:
+// 100*(old-cur)/old. Positive means cur is faster.
+func Improvement(old, cur float64) float64 {
 	if old == 0 {
 		return 0
 	}
-	return 100 * (old - new) / old
+	return 100 * (old - cur) / old
 }
 
 // Improvements maps Improvement over paired slices.
-func Improvements(old, new []float64) []float64 {
+func Improvements(old, cur []float64) []float64 {
 	n := len(old)
-	if len(new) < n {
-		n = len(new)
+	if len(cur) < n {
+		n = len(cur)
 	}
 	out := make([]float64, n)
 	for i := 0; i < n; i++ {
-		out[i] = Improvement(old[i], new[i])
+		out[i] = Improvement(old[i], cur[i])
 	}
 	return out
 }

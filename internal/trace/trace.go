@@ -30,8 +30,12 @@ func (l *Log) Add(name, lane string, start, end float64) {
 	l.Spans = append(l.Spans, Span{Name: name, Lane: lane, Start: start, End: end})
 }
 
-// Duration returns the end of the latest span.
+// Duration returns the end of the latest span. A nil log has duration
+// zero.
 func (l *Log) Duration() float64 {
+	if l == nil {
+		return 0
+	}
 	var d float64
 	for _, s := range l.Spans {
 		if s.End > d {
@@ -41,8 +45,12 @@ func (l *Log) Duration() float64 {
 	return d
 }
 
-// Lanes returns the distinct lanes in first-appearance order.
+// Lanes returns the distinct lanes in first-appearance order. A nil
+// log has no lanes.
 func (l *Log) Lanes() []string {
+	if l == nil {
+		return nil
+	}
 	var out []string
 	seen := map[string]bool{}
 	for _, s := range l.Spans {
@@ -56,8 +64,9 @@ func (l *Log) Lanes() []string {
 
 // Render draws the log as a text Gantt chart with the given plot width
 // in characters. Each lane is one row; spans appear as labelled bars.
+// A nil log renders as an empty trace.
 func (l *Log) Render(width int) string {
-	if len(l.Spans) == 0 {
+	if l == nil || len(l.Spans) == 0 {
 		return "(empty trace)\n"
 	}
 	if width < 20 {
@@ -113,8 +122,12 @@ func (l *Log) Render(width int) string {
 	return b.String()
 }
 
-// Summary lists the spans in order with their times.
+// Summary lists the spans in order with their times. A nil log has an
+// empty summary.
 func (l *Log) Summary() string {
+	if l == nil {
+		return ""
+	}
 	spans := append([]Span(nil), l.Spans...)
 	sort.Slice(spans, func(i, j int) bool {
 		if spans[i].Start != spans[j].Start {

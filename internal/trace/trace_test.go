@@ -24,6 +24,23 @@ func TestAddOnNil(t *testing.T) {
 	l.Add("x", "y", 0, 1) // must not panic
 }
 
+// Every query method must be nil-receiver safe, like Add.
+func TestNilReceiverQueries(t *testing.T) {
+	var l *Log
+	if d := l.Duration(); d != 0 {
+		t.Errorf("nil Duration = %v", d)
+	}
+	if lanes := l.Lanes(); lanes != nil {
+		t.Errorf("nil Lanes = %v", lanes)
+	}
+	if out := l.Render(40); !strings.Contains(out, "empty") {
+		t.Errorf("nil Render = %q", out)
+	}
+	if s := l.Summary(); s != "" {
+		t.Errorf("nil Summary = %q", s)
+	}
+}
+
 func TestLanesOrder(t *testing.T) {
 	var l Log
 	l.Add("a", "z-lane", 0, 1)
