@@ -20,8 +20,12 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"runtime"
 	"strings"
@@ -35,8 +39,12 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	md := flag.Bool("md", false, "emit markdown instead of aligned text")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent experiments and per-experiment configurations")
+	debugAddr := flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address while running, e.g. localhost:6060")
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
+	if *debugAddr != "" {
+		startDebugServer(*debugAddr)
+	}
 
 	switch {
 	case *list:
@@ -56,6 +64,26 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// startDebugServer serves the process's expvar and pprof endpoints in
+// the background so long experiment sweeps can be profiled live. The
+// handlers register on http.DefaultServeMux via their package imports;
+// a listen failure is fatal so a typoed address does not silently run
+// unprofiled.
+func startDebugServer(addr string) {
+	expvar.NewString("nestwrf_component").Set("experiments")
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: debug server on %s: %v\n", addr, err)
+		os.Exit(2)
+	}
+	go func() {
+		if err := http.Serve(ln, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: debug server: %v\n", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof and /debug/vars\n", ln.Addr())
 }
 
 // selectExperiments resolves a comma-separated id list in the order

@@ -40,8 +40,12 @@ func main() {
 	ratio := flag.Int("ratio", 3, "parent-to-nest refinement ratio")
 	preset := flag.String("preset", "", "named configuration: table2, fig10, fig15, fig2")
 	mapKind := flag.String("map", "oblivious", "mapping: oblivious, txyz, partition, multilevel")
-	allocPolicy := flag.String("alloc", "predicted", "allocation: predicted, points, equal")
+	allocPolicy := flag.String("alloc", "predicted", "allocation: predicted, strips-predicted, naive-points, equal")
 	ioEvery := flag.Int("output-every", 0, "write forecast output every N steps (0 = no I/O)")
+	ioMode := flag.String("io-mode", "pnetcdf", "I/O model with -output-every: pnetcdf (collective) or split")
+	jsonOut := flag.Bool("json", false, "emit the structured run report (or comparison report with -compare) as JSON")
+	showMetrics := flag.Bool("metrics", false, "print the run's metrics registry in text exposition format")
+	traceOut := flag.String("trace-out", "", "write the iteration schedule as Chrome trace-event JSON to this file (view in Perfetto)")
 	plan := flag.Bool("plan", false, "print the execution plan (weights, partitions, mappings)")
 	compare := flag.Bool("compare", false, "compare default sequential vs concurrent strategies")
 	showTrace := flag.Bool("trace", false, "render the virtual-time schedule of one iteration")
@@ -76,12 +80,14 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("configuration: %s parent %dx%d, %d nests, ratio %d\n",
-		cfg.Name, cfg.NX, cfg.NY, len(cfg.Children), *ratio)
-	for _, c := range cfg.Children {
-		fmt.Printf("  %-10s %4dx%-4d at (%d,%d)\n", c.Name, c.NX, c.NY, c.OffX, c.OffY)
+	if !*jsonOut {
+		fmt.Printf("configuration: %s parent %dx%d, %d nests, ratio %d\n",
+			cfg.Name, cfg.NX, cfg.NY, len(cfg.Children), *ratio)
+		for _, c := range cfg.Children {
+			fmt.Printf("  %-10s %4dx%-4d at (%d,%d)\n", c.Name, c.NX, c.NY, c.OffX, c.OffY)
+		}
+		fmt.Printf("machine: %s, %d cores\n\n", m.Name, *ranks)
 	}
-	fmt.Printf("machine: %s, %d cores\n\n", m.Name, *ranks)
 
 	if *plan {
 		p, err := nestwrf.Plan(cfg, m, *ranks)
@@ -117,13 +123,38 @@ func main() {
 		OutputEverySteps: *ioEvery,
 	}
 	if *ioEvery > 0 {
-		opts.IOMode = nestwrf.IOCollective
+		opts.IOMode, err = nestwrf.ParseIOMode(strings.ToLower(*ioMode))
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *showMetrics {
+		opts.Metrics = nestwrf.NewMetricsRegistry()
 	}
 
 	if *compare {
-		cmp, err := nestwrf.Compare(cfg, opts)
+		var cmp nestwrf.Comparison
+		var rep *nestwrf.ComparisonReport
+		if *jsonOut {
+			cmp, rep, err = nestwrf.CompareWithReport(cfg, opts)
+		} else {
+			cmp, err = nestwrf.Compare(cfg, opts)
+		}
 		if err != nil {
 			fatal(err)
+		}
+		if *traceOut != "" {
+			writeTrace(*traceOut,
+				nestwrf.TraceProcess{Name: "sequential", Log: nestwrf.TraceIteration(cmp.Default, nestwrf.StrategySequential)},
+				nestwrf.TraceProcess{Name: "concurrent", Log: nestwrf.TraceIteration(cmp.Concurrent, nestwrf.StrategyConcurrent)},
+			)
+		}
+		if *jsonOut {
+			if err := rep.EncodeJSON(os.Stdout); err != nil {
+				fatal(err)
+			}
+			printMetrics(opts.Metrics)
+			return
 		}
 		fmt.Printf("default sequential:  %.3f s/iteration (wait %.3f s/rank)\n",
 			cmp.Default.IterTime, cmp.Default.WaitAvg)
@@ -146,6 +177,7 @@ func main() {
 			fmt.Println("\nvirtual-time schedule, concurrent siblings:")
 			fmt.Print(nestwrf.TraceIteration(cmp.Concurrent, nestwrf.StrategyConcurrent).Render(64))
 		}
+		printMetrics(opts.Metrics)
 		return
 	}
 
@@ -165,16 +197,58 @@ func main() {
 
 	if !*plan {
 		opts.Strategy = nestwrf.StrategyConcurrent
-		res, err := nestwrf.Simulate(cfg, opts)
+		var res nestwrf.Result
+		var rep *nestwrf.Report
+		if *jsonOut {
+			res, rep, err = nestwrf.SimulateWithReport(cfg, opts)
+		} else {
+			res, err = nestwrf.Simulate(cfg, opts)
+		}
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("concurrent strategy: %.3f s/iteration, wait %.3f s/rank, %.2f avg hops\n",
-			res.IterTime, res.WaitAvg, res.HopsAvg)
-		if *ioEvery > 0 {
-			fmt.Printf("I/O: %.3f s/iteration\n", res.IOTime)
+		if *traceOut != "" {
+			writeTrace(*traceOut,
+				nestwrf.TraceProcess{Name: "concurrent", Log: nestwrf.TraceIteration(res, nestwrf.StrategyConcurrent)})
 		}
+		if *jsonOut {
+			if err := rep.EncodeJSON(os.Stdout); err != nil {
+				fatal(err)
+			}
+		} else {
+			fmt.Printf("concurrent strategy: %.3f s/iteration, wait %.3f s/rank, %.2f avg hops\n",
+				res.IterTime, res.WaitAvg, res.HopsAvg)
+			if *ioEvery > 0 {
+				fmt.Printf("I/O: %.3f s/iteration\n", res.IOTime)
+			}
+		}
+		printMetrics(opts.Metrics)
 	}
+}
+
+// writeTrace writes the logs as a Chrome trace-event file.
+func writeTrace(path string, procs ...nestwrf.TraceProcess) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := nestwrf.WriteChromeTrace(f, procs...); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s (open in ui.perfetto.dev)\n", path)
+}
+
+// printMetrics renders the registry on stderr so it composes with
+// -json on stdout; a nil registry (no -metrics flag) prints nothing.
+func printMetrics(reg *nestwrf.MetricsRegistry) {
+	if reg == nil {
+		return
+	}
+	fmt.Fprint(os.Stderr, "\n"+reg.Snapshot().Text())
 }
 
 func buildConfig(preset, parent string, ratio int, nests nestFlags) (*nestwrf.Domain, error) {
@@ -251,10 +325,12 @@ func pickAlloc(name string) (nestwrf.AllocPolicy, error) {
 	switch strings.ToLower(name) {
 	case "predicted":
 		return nestwrf.AllocPredicted, nil
-	case "points", "naive":
+	case "points", "naive", "naive-points":
 		return nestwrf.AllocNaivePoints, nil
 	case "equal":
 		return nestwrf.AllocEqual, nil
+	case "strips-predicted", "strips":
+		return nestwrf.AllocStripsPredicted, nil
 	}
 	return 0, fmt.Errorf("unknown allocation policy %q", name)
 }

@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"nestwrf"
 )
 
 func TestBuildConfigCustom(t *testing.T) {
@@ -73,6 +75,24 @@ func TestPickers(t *testing.T) {
 	}
 	if _, err := pickAlloc("x"); err == nil {
 		t.Error("unknown alloc should fail")
+	}
+}
+
+func TestPickAllocAliases(t *testing.T) {
+	cases := map[string]nestwrf.AllocPolicy{
+		"predicted":        nestwrf.AllocPredicted,
+		"points":           nestwrf.AllocNaivePoints,
+		"naive":            nestwrf.AllocNaivePoints,
+		"naive-points":     nestwrf.AllocNaivePoints,
+		"equal":            nestwrf.AllocEqual,
+		"strips-predicted": nestwrf.AllocStripsPredicted,
+		"strips":           nestwrf.AllocStripsPredicted,
+	}
+	for in, want := range cases {
+		got, err := pickAlloc(in)
+		if err != nil || got != want {
+			t.Errorf("pickAlloc(%q) = %v, %v; want %v", in, got, err, want)
+		}
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"nestwrf/internal/iosim"
 	"nestwrf/internal/machine"
 	"nestwrf/internal/mapping"
+	"nestwrf/internal/metrics"
 	"nestwrf/internal/model"
 	"nestwrf/internal/nest"
 	"nestwrf/internal/predict"
@@ -132,6 +133,11 @@ type Options struct {
 	// allocation from measured phase times. Deeper nesting levels still
 	// use the predictor.
 	FixedWeights []float64
+
+	// Metrics, when non-nil, receives the run's instrumentation
+	// (per-phase time breakdowns, link congestion, I/O volumes). Nil —
+	// the default — keeps all metric collection off the hot path.
+	Metrics *metrics.Registry
 }
 
 // OutputBytesPerPoint is the forecast output volume per horizontal grid
@@ -212,6 +218,7 @@ type run struct {
 	waitMax []float64 // per-rank accumulated wait (worst-case comm)
 	hopNum  float64   // hops weighted by communicating rank-steps
 	hopDen  float64
+	rep     *reportBuilder // nil unless a report or metrics were requested
 }
 
 // predictor returns the run's predictor, training one from the machine's
@@ -229,21 +236,35 @@ func (r *run) predictor() (*predict.Model, error) {
 }
 
 // Run simulates one parent iteration of the domain tree cfg under the
-// given options and returns its virtual-time metrics.
+// given options and returns its virtual-time metrics. When
+// opt.Metrics is set, the run additionally records its breakdown into
+// the registry.
 func Run(cfg *nest.Domain, opt Options) (Result, error) {
+	res, _, err := run0(cfg, opt, opt.Metrics != nil)
+	return res, err
+}
+
+// RunWithReport is Run plus the structured per-run Report: per-domain
+// phase breakdowns, predicted-vs-realized sibling phase times,
+// link-congestion summaries and I/O events.
+func RunWithReport(cfg *nest.Domain, opt Options) (Result, *Report, error) {
+	return run0(cfg, opt, true)
+}
+
+func run0(cfg *nest.Domain, opt Options, observe bool) (Result, *Report, error) {
 	if opt.Ranks <= 0 {
-		return Result{}, ErrBadRanks
+		return Result{}, nil, ErrBadRanks
 	}
 	if err := cfg.Validate(); err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 	g, err := machine.GridFor(opt.Ranks)
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 	tor, err := machine.TorusFor(opt.Ranks)
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 
 	r := &run{
@@ -252,34 +273,37 @@ func Run(cfg *nest.Domain, opt Options) (Result, error) {
 		waitAvg: make([]float64, opt.Ranks),
 		waitMax: make([]float64, opt.Ranks),
 	}
+	if observe {
+		r.rep = newReportBuilder()
+	}
 
 	// The first-level partitions are needed up front: the partition
 	// mapping is defined by them.
 	var rects []alloc.Rect
 	if opt.Strategy == Concurrent {
 		if len(cfg.Children) == 0 {
-			return Result{}, ErrNoSiblings
+			return Result{}, nil, ErrNoSiblings
 		}
 		rects, err = r.allocate(cfg.Children, g.Px, g.Py)
 		if err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
 	}
 
 	r.mp, err = buildMapping(opt.MapKind, g, tor, rects, opt.Machine)
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 
 	full, err := vtopo.NewSubgrid(g, alloc.Rect{W: g.Px, H: g.Py})
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 
 	res := Result{Rects: rects}
 	iter, sibs, err := r.domainIter(cfg, full, rects, 1)
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 	res.IterTime = iter
 	res.Siblings = sibs
@@ -302,7 +326,17 @@ func Run(cfg *nest.Domain, opt Options) (Result, error) {
 	if opt.OutputEverySteps > 0 {
 		res.IOTime = r.ioTime(cfg, rects) / float64(opt.OutputEverySteps)
 	}
-	return res, nil
+	if !observe {
+		return res, nil, nil
+	}
+	rep, err := r.buildReport(cfg, res)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	if opt.Metrics != nil {
+		recordMetrics(opt.Metrics, rep)
+	}
+	return res, rep, nil
 }
 
 // allocate partitions a w x h processor rectangle among the children.
@@ -362,17 +396,24 @@ func buildMapping(kind MapKind, g vtopo.Grid, tor torus.Torus, rects []alloc.Rec
 // mult is the number of times this step executes per parent iteration,
 // used to accumulate per-rank wait times correctly across nesting
 // levels.
-// costs evaluates a phase under the run's contention setting.
+// costs evaluates a phase under the run's contention setting. When a
+// report is being built (and contention is on), the phase's link-
+// congestion summary is captured alongside the costs.
 func (r *run) costs(placements []model.Placement) []model.StepCost {
 	if r.opt.NoContention {
 		return model.PhaseCostsNoContention(r.opt.Machine, r.mp, placements)
+	}
+	if r.rep != nil {
+		cs, cong := model.PhaseCostsCongestion(r.opt.Machine, r.mp, placements)
+		r.rep.observeCongestion(phaseName(placements), cong)
+		return cs
 	}
 	return model.PhaseCosts(r.opt.Machine, r.mp, placements)
 }
 
 func (r *run) domainIter(d *nest.Domain, sg vtopo.Subgrid, rects []alloc.Rect, mult float64) (float64, []DomainMetrics, error) {
 	own := r.costs([]model.Placement{{D: d, SG: sg}})[0]
-	r.account(sg, mult, own)
+	r.account(d.Name, sg, mult, own)
 	t := own.Time()
 	if len(d.Children) == 0 {
 		return t, nil, nil
@@ -389,6 +430,9 @@ func (r *run) domainIter(d *nest.Domain, sg vtopo.Subgrid, rects []alloc.Rect, m
 			// The sub-steps repeat Ratio times; coupling happens once per
 			// parent step.
 			couple := model.CouplingCost(r.opt.Machine, c, sg.Size())
+			if r.rep != nil {
+				r.rep.phase(c.Name, sg.Size()).CouplingSeconds += mult * couple
+			}
 			phase := float64(c.Ratio)*step + couple
 			t += phase
 			sibs = append(sibs, DomainMetrics{
@@ -428,7 +472,7 @@ func (r *run) domainIter(d *nest.Domain, sg vtopo.Subgrid, rects []alloc.Rect, m
 			// One sub-step's communication occurs under full sibling
 			// contention; nested descendants recurse on the partition.
 			step := costs[i].Time()
-			r.account(subgrids[i], mult*float64(c.Ratio), costs[i])
+			r.account(c.Name, subgrids[i], mult*float64(c.Ratio), costs[i])
 			if len(c.Children) > 0 {
 				inner, _, err := r.nestedExtra(c, subgrids[i], mult*float64(c.Ratio))
 				if err != nil {
@@ -437,6 +481,9 @@ func (r *run) domainIter(d *nest.Domain, sg vtopo.Subgrid, rects []alloc.Rect, m
 				step += inner
 			}
 			couple := model.CouplingCost(r.opt.Machine, c, subgrids[i].Size())
+			if r.rep != nil {
+				r.rep.phase(c.Name, subgrids[i].Size()).CouplingSeconds += mult * couple
+			}
 			phase := float64(c.Ratio)*step + couple
 			if phase > longest {
 				longest = phase
@@ -469,7 +516,7 @@ func (r *run) nestedExtra(d *nest.Domain, sg vtopo.Subgrid, mult float64) (float
 	own := r.costs([]model.Placement{{D: d, SG: sg}})[0]
 	extra := total - own.Time()
 	// Remove the double-counted own-step wait.
-	r.unaccount(sg, mult, own)
+	r.unaccount(d.Name, sg, mult, own)
 	if extra < 0 {
 		extra = 0
 	}
@@ -477,8 +524,10 @@ func (r *run) nestedExtra(d *nest.Domain, sg vtopo.Subgrid, mult float64) (float
 }
 
 // account accrues wait times and hop statistics for the ranks of sg
-// executing `steps` sub-steps with the given cost.
-func (r *run) account(sg vtopo.Subgrid, steps float64, c model.StepCost) {
+// executing `steps` sub-steps of domain `name` with the given cost,
+// and feeds the report's per-domain phase breakdown when one is being
+// built.
+func (r *run) account(name string, sg vtopo.Subgrid, steps float64, c model.StepCost) {
 	for _, rank := range sg.Ranks() {
 		r.waitAvg[rank] += steps * c.CommAvg
 		r.waitMax[rank] += steps * c.CommMax
@@ -486,9 +535,16 @@ func (r *run) account(sg vtopo.Subgrid, steps float64, c model.StepCost) {
 	w := steps * float64(c.Ranks)
 	r.hopNum += c.HopsAvg * w
 	r.hopDen += w
+	if r.rep != nil {
+		p := r.rep.phase(name, sg.Size())
+		p.Steps += steps
+		p.ComputeSeconds += steps * c.Compute
+		p.TransferSeconds += steps * c.CommAvg
+		p.WaitSeconds += steps * (c.CommMax - c.CommAvg)
+	}
 }
 
-func (r *run) unaccount(sg vtopo.Subgrid, steps float64, c model.StepCost) {
+func (r *run) unaccount(name string, sg vtopo.Subgrid, steps float64, c model.StepCost) {
 	for _, rank := range sg.Ranks() {
 		r.waitAvg[rank] -= steps * c.CommAvg
 		r.waitMax[rank] -= steps * c.CommMax
@@ -496,6 +552,13 @@ func (r *run) unaccount(sg vtopo.Subgrid, steps float64, c model.StepCost) {
 	w := steps * float64(c.Ranks)
 	r.hopNum -= c.HopsAvg * w
 	r.hopDen -= w
+	if r.rep != nil {
+		p := r.rep.phase(name, sg.Size())
+		p.Steps -= steps
+		p.ComputeSeconds -= steps * c.Compute
+		p.TransferSeconds -= steps * c.CommAvg
+		p.WaitSeconds -= steps * (c.CommMax - c.CommAvg)
+	}
 }
 
 // ioTime returns the cost of one output event: every domain writes a
@@ -505,14 +568,25 @@ func (r *run) unaccount(sg vtopo.Subgrid, steps float64, c model.StepCost) {
 func (r *run) ioTime(cfg *nest.Domain, rects []alloc.Rect) float64 {
 	p := r.opt.Machine.IO
 	mode := r.opt.IOMode
-	parentBytes := float64(cfg.Points()) * OutputBytesPerPoint
-	t := p.WriteTime(mode, r.opt.Ranks, parentBytes)
+	// write models one domain's forecast file and records the event in
+	// the report when one is being built.
+	write := func(d *nest.Domain, writers int) float64 {
+		bytes := float64(d.Points()) * OutputBytesPerPoint
+		t := p.WriteTime(mode, writers, bytes)
+		if r.rep != nil {
+			r.rep.io = append(r.rep.io, WriteReport{
+				Domain: d.Name, Writers: writers, Bytes: bytes, Seconds: t,
+			})
+		}
+		return t
+	}
+	t := write(cfg, r.opt.Ranks)
 	if r.opt.Strategy == Sequential || rects == nil {
 		cfg.Walk(func(d *nest.Domain) {
 			if d == cfg {
 				return
 			}
-			t += p.WriteTime(mode, r.opt.Ranks, float64(d.Points())*OutputBytesPerPoint)
+			t += write(d, r.opt.Ranks)
 		})
 		return t
 	}
@@ -522,7 +596,7 @@ func (r *run) ioTime(cfg *nest.Domain, rects []alloc.Rect) float64 {
 		writers := rects[i].Area()
 		var sub float64
 		c.Walk(func(d *nest.Domain) {
-			sub += p.WriteTime(mode, writers, float64(d.Points())*OutputBytesPerPoint)
+			sub += write(d, writers)
 		})
 		if sub > slowest {
 			slowest = sub

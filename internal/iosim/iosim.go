@@ -87,6 +87,18 @@ func (m Mode) String() string {
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
 
+// ParseMode is the inverse of Mode.String, for CLI flags and report
+// configs. It accepts the canonical names plus common aliases.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "pnetcdf", "collective":
+		return Collective, nil
+	case "split":
+		return Split, nil
+	}
+	return 0, fmt.Errorf("iosim: unknown I/O mode %q (pnetcdf, split)", s)
+}
+
 // WriteTime dispatches on the mode.
 func (p Params) WriteTime(m Mode, writers int, bytes float64) float64 {
 	if m == Split {

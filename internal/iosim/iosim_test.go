@@ -106,3 +106,21 @@ func TestModeString(t *testing.T) {
 		t.Error("unknown mode string wrong")
 	}
 }
+
+func TestParseMode(t *testing.T) {
+	cases := map[string]Mode{
+		"pnetcdf": Collective, "collective": Collective, "split": Split,
+	}
+	for in, want := range cases {
+		got, err := ParseMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+		if got.String() == "" {
+			t.Errorf("mode %v has empty String", got)
+		}
+	}
+	if _, err := ParseMode("netcdf4"); err == nil {
+		t.Error("ParseMode accepted unknown mode")
+	}
+}

@@ -76,6 +76,29 @@ func PhaseCostsNoContention(m machine.Machine, mp *mapping.Mapping, placements [
 	return phaseCosts(m, mp, placements, false)
 }
 
+// PhaseCostsCongestion is PhaseCosts plus the congestion summary of
+// the phase's accumulated link loads — the observability variant used
+// when a run assembles a structured report. It is deliberately a
+// separate entry point so the uninstrumented path stays allocation-
+// identical.
+func PhaseCostsCongestion(m machine.Machine, mp *mapping.Mapping, placements []Placement) ([]StepCost, netsim.Congestion) {
+	net, err := netsim.New(mp.Torus, m.Net)
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range placements {
+		for _, pr := range haloPairs(p) {
+			net.AddFlow(mp.NodeOf(pr[0]), mp.NodeOf(pr[1]))
+			net.AddFlow(mp.NodeOf(pr[1]), mp.NodeOf(pr[0]))
+		}
+	}
+	out := make([]StepCost, len(placements))
+	for i, p := range placements {
+		out[i] = stepCost(m, mp, net, p)
+	}
+	return out, net.Stats()
+}
+
 func phaseCosts(m machine.Machine, mp *mapping.Mapping, placements []Placement, contention bool) []StepCost {
 	net, err := netsim.New(mp.Torus, m.Net)
 	if err != nil {

@@ -74,6 +74,41 @@ type World struct {
 // messages in flight.
 var ErrDeadlock = errors.New("mpi: deadlock: all ranks blocked in Recv with empty queues")
 
+// PhaseStats aggregates one rank's virtual-time activity within one
+// named phase: where the time went (compute vs. blocked wait vs.
+// message transfer) and how much traffic the rank generated.
+type PhaseStats struct {
+	// Compute is virtual time advanced by Compute calls.
+	Compute float64
+	// Wait is virtual time spent blocked in Recv/Wait past the rank's
+	// own clock — the MPI_Wait time of the paper's measurements.
+	Wait float64
+	// Transfer is the summed modeled transfer duration of the messages
+	// this rank sent (network occupancy attributed to the sender).
+	Transfer float64
+	// SendCount/RecvCount and SendBytes/RecvBytes count the rank's
+	// messages and payload bytes, including collective-internal traffic.
+	SendCount, RecvCount int
+	SendBytes, RecvBytes int
+}
+
+// add accumulates o into s.
+func (s *PhaseStats) add(o PhaseStats) {
+	s.Compute += o.Compute
+	s.Wait += o.Wait
+	s.Transfer += o.Transfer
+	s.SendCount += o.SendCount
+	s.RecvCount += o.RecvCount
+	s.SendBytes += o.SendBytes
+	s.RecvBytes += o.RecvBytes
+}
+
+// Phase is one named phase of one rank with its accumulated stats.
+type Phase struct {
+	Name  string
+	Stats PhaseStats
+}
+
 // Proc is the per-rank handle passed to the rank function.
 type Proc struct {
 	w     *World
@@ -81,6 +116,12 @@ type Proc struct {
 	clock float64
 	wait  float64
 	world *Comm
+
+	// Phase instrumentation: nil until the first BeginPhase, so
+	// uninstrumented runs pay only a nil check per operation.
+	cur      *PhaseStats
+	phases   []Phase
+	phaseIdx map[string]int
 }
 
 // Comm is a communicator: an ordered group of global ranks. Local rank
@@ -154,10 +195,72 @@ func (p *Proc) Clock() float64 { return p.clock }
 // Recv/Wait — the MPI_Wait time of the paper's measurements.
 func (p *Proc) WaitTime() float64 { return p.wait }
 
+// BeginPhase opens (or re-opens) the named per-rank accounting phase:
+// subsequent Compute, Send and Recv activity on this rank accrues to
+// it until the next BeginPhase. Re-opening a name continues its
+// accumulation. Phases are purely observational — they never advance
+// virtual time.
+func (p *Proc) BeginPhase(name string) {
+	if p.phaseIdx == nil {
+		p.phaseIdx = make(map[string]int)
+	}
+	i, ok := p.phaseIdx[name]
+	if !ok {
+		i = len(p.phases)
+		p.phaseIdx[name] = i
+		p.phases = append(p.phases, Phase{Name: name})
+	}
+	p.cur = &p.phases[i].Stats
+}
+
+// Phases returns a copy of the rank's per-phase breakdown in
+// first-BeginPhase order. Call it only after Run returns (or from the
+// rank's own goroutine).
+func (p *Proc) Phases() []Phase {
+	return append([]Phase(nil), p.phases...)
+}
+
+// PhaseTotal aggregates one phase across ranks.
+type PhaseTotal struct {
+	Name string
+	// Ranks is the number of ranks that entered the phase.
+	Ranks int
+	// Sum totals the per-rank stats.
+	Sum PhaseStats
+	// MaxWait is the worst single rank's wait time in the phase.
+	MaxWait float64
+}
+
+// AggregatePhases merges the per-rank phase breakdowns of a finished
+// run into per-phase totals, ordered by first appearance across ranks.
+func AggregatePhases(procs []*Proc) []PhaseTotal {
+	var out []PhaseTotal
+	idx := map[string]int{}
+	for _, p := range procs {
+		for _, ph := range p.phases {
+			i, ok := idx[ph.Name]
+			if !ok {
+				i = len(out)
+				idx[ph.Name] = i
+				out = append(out, PhaseTotal{Name: ph.Name})
+			}
+			out[i].Ranks++
+			out[i].Sum.add(ph.Stats)
+			if ph.Stats.Wait > out[i].MaxWait {
+				out[i].MaxWait = ph.Stats.Wait
+			}
+		}
+	}
+	return out
+}
+
 // Compute advances the rank's virtual clock by the given duration.
 func (p *Proc) Compute(seconds float64) {
 	if seconds > 0 {
 		p.clock += seconds
+		if p.cur != nil {
+			p.cur.Compute += seconds
+		}
 	}
 }
 
@@ -184,6 +287,11 @@ func (c *Comm) Send(to, tag int, data []float64) {
 		comm:    c.id,
 		data:    append([]float64(nil), data...),
 		arrival: p.clock + t,
+	}
+	if p.cur != nil {
+		p.cur.Transfer += t
+		p.cur.SendCount++
+		p.cur.SendBytes += bytes
 	}
 	w := c.w
 	w.mu.Lock()
@@ -216,8 +324,15 @@ func (c *Comm) Recv(from, tag int) ([]float64, error) {
 			w.blocked--
 			w.mu.Unlock()
 			if msg.arrival > p.clock {
+				if p.cur != nil {
+					p.cur.Wait += msg.arrival - p.clock
+				}
 				p.wait += msg.arrival - p.clock
 				p.clock = msg.arrival
+			}
+			if p.cur != nil {
+				p.cur.RecvCount++
+				p.cur.RecvBytes += 8 * len(msg.data)
 			}
 			return msg.data, nil
 		}

@@ -438,3 +438,130 @@ func BenchmarkHaloExchange64Ranks(b *testing.B) {
 		}
 	}
 }
+
+// TestPhaseStats checks the per-rank, per-phase breakdown: compute,
+// wait, transfer, message and byte counts land in the phase that was
+// open when the activity happened.
+func TestPhaseStats(t *testing.T) {
+	model := AlphaBeta{Alpha: 1, Beta: 0} // 1s per message, size-free
+	procs, err := Run(2, model, func(p *Proc) error {
+		c := p.World()
+		p.BeginPhase("compute")
+		p.Compute(3)
+		p.BeginPhase("exchange")
+		if p.Rank() == 0 {
+			p.Compute(2) // rank 0 sends late so rank 1 must wait
+			c.Send(1, 0, []float64{1, 2})
+			return nil
+		}
+		_, err := c.Recv(0, 0)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r0 := procs[0].Phases()
+	if len(r0) != 2 || r0[0].Name != "compute" || r0[1].Name != "exchange" {
+		t.Fatalf("rank 0 phases = %+v", r0)
+	}
+	if r0[0].Stats.Compute != 3 {
+		t.Errorf("rank 0 compute-phase compute = %v, want 3", r0[0].Stats.Compute)
+	}
+	ex0 := r0[1].Stats
+	if ex0.Compute != 2 || ex0.SendCount != 1 || ex0.SendBytes != 16 || ex0.Transfer != 1 {
+		t.Errorf("rank 0 exchange stats = %+v", ex0)
+	}
+
+	ex1 := procs[1].Phases()[1].Stats
+	// Rank 1 reaches Recv at t=3; the message arrives at 3+2+1=6.
+	if math.Abs(ex1.Wait-3) > 1e-12 {
+		t.Errorf("rank 1 wait = %v, want 3", ex1.Wait)
+	}
+	if ex1.RecvCount != 1 || ex1.RecvBytes != 16 {
+		t.Errorf("rank 1 recv stats = %+v", ex1)
+	}
+	if procs[1].WaitTime() != ex1.Wait {
+		t.Errorf("phase wait %v disagrees with WaitTime %v", ex1.Wait, procs[1].WaitTime())
+	}
+}
+
+// TestPhaseReopenAccumulates re-opens a phase and checks accumulation
+// continues rather than starting a second entry.
+func TestPhaseReopenAccumulates(t *testing.T) {
+	procs, err := Run(1, tm(), func(p *Proc) error {
+		p.BeginPhase("a")
+		p.Compute(1)
+		p.BeginPhase("b")
+		p.Compute(10)
+		p.BeginPhase("a")
+		p.Compute(2)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := procs[0].Phases()
+	if len(phases) != 2 {
+		t.Fatalf("phases = %+v", phases)
+	}
+	if phases[0].Stats.Compute != 3 || phases[1].Stats.Compute != 10 {
+		t.Errorf("phases = %+v", phases)
+	}
+}
+
+// TestPhasesOffByDefault: without BeginPhase no breakdown is recorded
+// and behavior is unchanged.
+func TestPhasesOffByDefault(t *testing.T) {
+	procs, err := Run(2, tm(), func(p *Proc) error {
+		c := p.World()
+		if p.Rank() == 0 {
+			c.Send(1, 0, []float64{1})
+			return nil
+		}
+		_, err := c.Recv(0, 0)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range procs {
+		if got := p.Phases(); got != nil {
+			t.Errorf("rank %d has phases without BeginPhase: %+v", p.Rank(), got)
+		}
+	}
+}
+
+func TestAggregatePhases(t *testing.T) {
+	procs, err := Run(4, AlphaBeta{Alpha: 1}, func(p *Proc) error {
+		c := p.World()
+		p.BeginPhase("halo")
+		p.Compute(float64(p.Rank()))
+		if p.Rank() > 0 {
+			c.Send(0, 0, []float64{1})
+			return nil
+		}
+		for r := 1; r < c.Size(); r++ {
+			if _, err := c.Recv(r, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := AggregatePhases(procs)
+	if len(totals) != 1 || totals[0].Name != "halo" || totals[0].Ranks != 4 {
+		t.Fatalf("totals = %+v", totals)
+	}
+	if totals[0].Sum.Compute != 0+1+2+3 {
+		t.Errorf("summed compute = %v, want 6", totals[0].Sum.Compute)
+	}
+	if totals[0].Sum.SendCount != 3 || totals[0].Sum.RecvCount != 3 {
+		t.Errorf("message counts = %+v", totals[0].Sum)
+	}
+	if totals[0].MaxWait != procs[0].WaitTime() {
+		t.Errorf("MaxWait = %v, want rank 0's wait %v", totals[0].MaxWait, procs[0].WaitTime())
+	}
+}

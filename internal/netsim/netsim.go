@@ -12,6 +12,7 @@ package netsim
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"nestwrf/internal/torus"
 )
@@ -116,6 +117,51 @@ func (n *Network) TotalHops() int {
 		sum += c
 	}
 	return sum
+}
+
+// LoadBucket is one entry of a link-load histogram: Links links carry
+// exactly Load concurrent messages.
+type LoadBucket struct {
+	Load  int `json:"load"`
+	Links int `json:"links"`
+}
+
+// Congestion summarizes the link loads of one communication phase.
+type Congestion struct {
+	// Links is the number of distinct directed links carrying traffic.
+	Links int `json:"links"`
+	// TotalHops is the total number of link traversals (hop-byte style
+	// congestion with unit message size).
+	TotalHops int `json:"total_hops"`
+	// MaxLoad is the highest multiplicity on any link — the kappa that
+	// divides the bandwidth of the worst message.
+	MaxLoad int `json:"max_load"`
+	// Histogram counts links by exact multiplicity, ascending by load.
+	Histogram []LoadBucket `json:"histogram"`
+}
+
+// Stats summarizes the current phase's accumulated link loads. The
+// histogram makes visible *why* compact mappings cut MPI_Wait: better
+// placements shift links toward lower multiplicities.
+func (n *Network) Stats() Congestion {
+	c := Congestion{Links: len(n.load)}
+	counts := map[int]int{}
+	for _, load := range n.load {
+		c.TotalHops += load
+		if load > c.MaxLoad {
+			c.MaxLoad = load
+		}
+		counts[load]++
+	}
+	loads := make([]int, 0, len(counts))
+	for l := range counts {
+		loads = append(loads, l)
+	}
+	sort.Ints(loads)
+	for _, l := range loads {
+		c.Histogram = append(c.Histogram, LoadBucket{Load: l, Links: counts[l]})
+	}
+	return c
 }
 
 // TransferTime returns the modeled time for one message of the given

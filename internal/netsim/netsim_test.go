@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"nestwrf/internal/torus"
@@ -188,5 +189,44 @@ func BenchmarkTransferTimeLoaded(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n.TransferTime(a, c, 65536)
+	}
+}
+
+// TestStats checks the congestion summary against a hand-built phase.
+func TestStats(t *testing.T) {
+	tor, err := torus.New(4, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(tor, Params{LatencyPerHop: 1e-7, Overhead: 1e-6, Bandwidth: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := n.Stats(); s.Links != 0 || s.MaxLoad != 0 || s.TotalHops != 0 || s.Histogram != nil {
+		t.Fatalf("empty network stats = %+v", s)
+	}
+	// Two flows sharing the first hop of a straight-line route.
+	a := torus.Coord{X: 0, Y: 0, Z: 0}
+	b := torus.Coord{X: 1, Y: 0, Z: 0}
+	c := torus.Coord{X: 2, Y: 0, Z: 0}
+	n.AddFlow(a, b) // loads link a->b
+	n.AddFlow(a, c) // loads a->b and b->c
+	s := n.Stats()
+	if s.Links != 2 {
+		t.Errorf("Links = %d, want 2", s.Links)
+	}
+	if s.TotalHops != 3 || s.TotalHops != n.TotalHops() {
+		t.Errorf("TotalHops = %d (method %d), want 3", s.TotalHops, n.TotalHops())
+	}
+	if s.MaxLoad != 2 || s.MaxLoad != n.MaxLinkLoad() {
+		t.Errorf("MaxLoad = %d, want 2", s.MaxLoad)
+	}
+	want := []LoadBucket{{Load: 1, Links: 1}, {Load: 2, Links: 1}}
+	if !reflect.DeepEqual(s.Histogram, want) {
+		t.Errorf("Histogram = %+v, want %+v", s.Histogram, want)
+	}
+	n.Reset()
+	if s := n.Stats(); s.Links != 0 {
+		t.Errorf("stats after Reset = %+v", s)
 	}
 }

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// ChromeProcess names one Log for export. Each process becomes a pid
+// in the Chrome trace, so two strategies (e.g. sequential vs
+// concurrent) can be compared side by side in one Perfetto view.
+type ChromeProcess struct {
+	Name string
+	Log  *Log
+}
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+// Field order is the serialized key order, which the golden test pins.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Cat  string            `json:"cat,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Ts   int64             `json:"ts"`
+	Dur  int64             `json:"dur,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome serializes the logs in the Chrome trace-event JSON
+// format, loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+// Virtual seconds map to trace microseconds. Lanes become threads in
+// first-appearance order; spans become complete ("X") events sorted by
+// start time, so the output is deterministic for a given input.
+func WriteChrome(w io.Writer, procs ...ChromeProcess) error {
+	file := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for pi, p := range procs {
+		pid := pi + 1
+		name := p.Name
+		if name == "" {
+			name = fmt.Sprintf("process %d", pid)
+		}
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]string{"name": name},
+		})
+		lanes := p.Log.Lanes()
+		tids := make(map[string]int, len(lanes))
+		for li, ln := range lanes {
+			tids[ln] = li + 1
+			file.TraceEvents = append(file.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: li + 1,
+				Args: map[string]string{"name": ln},
+			})
+		}
+		var spans []Span
+		if p.Log != nil {
+			spans = append(spans, p.Log.Spans...)
+		}
+		sort.SliceStable(spans, func(i, j int) bool {
+			if spans[i].Start != spans[j].Start {
+				return spans[i].Start < spans[j].Start
+			}
+			if tids[spans[i].Lane] != tids[spans[j].Lane] {
+				return tids[spans[i].Lane] < tids[spans[j].Lane]
+			}
+			return spans[i].Name < spans[j].Name
+		})
+		for _, s := range spans {
+			dur := int64(math.Round((s.End - s.Start) * 1e6))
+			if dur < 1 {
+				dur = 1 // keep sub-microsecond spans visible
+			}
+			file.TraceEvents = append(file.TraceEvents, chromeEvent{
+				Name: s.Name, Ph: "X", Cat: "phase", Pid: pid, Tid: tids[s.Lane],
+				Ts: int64(math.Round(s.Start * 1e6)), Dur: dur,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(file)
+}

@@ -86,7 +86,13 @@ func (l *Log) Render(width int) string {
 	scale := float64(width) / total
 
 	var b strings.Builder
-	fmt.Fprintf(&b, "%*s  0%s%.3fs\n", laneWidth, "", strings.Repeat(" ", width-len(fmt.Sprintf("%.3fs", total))-1), total)
+	// The pad squeezes to nothing when the duration string is wider
+	// than the plot; strings.Repeat panics on a negative count.
+	pad := width - len(fmt.Sprintf("%.3fs", total)) - 1
+	if pad < 0 {
+		pad = 0
+	}
+	fmt.Fprintf(&b, "%*s  0%s%.3fs\n", laneWidth, "", strings.Repeat(" ", pad), total)
 	for _, ln := range lanes {
 		row := make([]byte, width)
 		for i := range row {

@@ -100,3 +100,14 @@ func TestSummaryOrder(t *testing.T) {
 		t.Errorf("summary not time-ordered:\n%s", s)
 	}
 }
+
+// A duration string wider than the plot used to drive the header pad
+// negative and panic strings.Repeat.
+func TestRenderHugeDurationHeader(t *testing.T) {
+	var l Log
+	l.Add("x", "lane", 0, 1e15)
+	out := l.Render(20)
+	if !strings.Contains(out, "lane") {
+		t.Errorf("render = %q", out)
+	}
+}

@@ -72,6 +72,11 @@ type Output struct {
 	MaxClock float64
 	// AvgWait and MaxWait aggregate the per-rank MPI wait times.
 	AvgWait, MaxWait float64
+	// Phases is the per-phase breakdown of the run aggregated across
+	// ranks (parent steps, per-nest sub-steps, coupling, output,
+	// collection): where the virtual time went, and the message traffic
+	// of each phase.
+	Phases []mpi.PhaseTotal
 	// Snapshots are the forecast records written during the run (in
 	// write order), when OutputEverySteps is enabled.
 	Snapshots []output.Snapshot
@@ -148,6 +153,7 @@ func Run(cfg *nest.Domain, opt Options) (*Output, error) {
 		return nil, err
 	}
 	sortSnapshots(out.Snapshots)
+	out.Phases = mpi.AggregatePhases(procs)
 	var sum float64
 	for _, p := range procs {
 		if p.Clock() > out.MaxClock {
@@ -182,6 +188,7 @@ type bcCell struct {
 func rankMain(p *mpi.Proc, cfg *nest.Domain, grid vtopo.Grid, rects []alloc.Rect, opt Options, out *Output) error {
 	world := p.World()
 	me := world.Rank()
+	p.BeginPhase("init")
 
 	// Parent tile on the full grid.
 	px0, py0, pw, ph := solver.Decompose(cfg.NX, cfg.NY, grid, me)
@@ -257,6 +264,7 @@ func rankMain(p *mpi.Proc, cfg *nest.Domain, grid vtopo.Grid, rects []alloc.Rect
 	// Main loop.
 	for step := 0; step < opt.Steps; step++ {
 		// Parent step.
+		p.BeginPhase("parent")
 		if err := parent.Exchange(world, grid); err != nil {
 			return err
 		}
@@ -265,6 +273,7 @@ func rankMain(p *mpi.Proc, cfg *nest.Domain, grid vtopo.Grid, rects []alloc.Rect
 
 		// Boundary conditions for every nest, moved parent-owner ->
 		// child-owner.
+		p.BeginPhase("coupling")
 		for _, nc := range nests {
 			if err := exchangeBC(p, world, grid, parent, nc, cfg); err != nil {
 				return err
@@ -290,6 +299,7 @@ func rankMain(p *mpi.Proc, cfg *nest.Domain, grid vtopo.Grid, rects []alloc.Rect
 		}
 
 		// Feedback child -> parent.
+		p.BeginPhase("coupling")
 		for _, nc := range nests {
 			if err := exchangeFeedback(p, world, grid, parent, nc, cfg); err != nil {
 				return err
@@ -298,6 +308,7 @@ func rankMain(p *mpi.Proc, cfg *nest.Domain, grid vtopo.Grid, rects []alloc.Rect
 
 		// Forecast output.
 		if opt.OutputEverySteps > 0 && (step+1)%opt.OutputEverySteps == 0 {
+			p.BeginPhase("output")
 			if err := writeOutputs(p, world, grid, parent, nests, cfg, opt, step+1, out); err != nil {
 				return err
 			}
@@ -305,6 +316,7 @@ func rankMain(p *mpi.Proc, cfg *nest.Domain, grid vtopo.Grid, rects []alloc.Rect
 	}
 
 	// Gather final states at world rank 0.
+	p.BeginPhase("collect")
 	if err := collectStates(world, grid, parent, nests, out); err != nil {
 		return err
 	}
@@ -321,6 +333,7 @@ func initialParentValue(cfg *nest.Domain, gx, gy int) (float64, float64, float64
 // nestSubsteps advances one nest Ratio sub-steps with its stored
 // boundary conditions applied after every halo exchange.
 func nestSubsteps(p *mpi.Proc, nc *nestCtx, opt Options) error {
+	p.BeginPhase("nest:" + nc.d.Name)
 	t := nc.tile
 	cells := float64(t.W * t.H)
 	for s := 0; s < nc.d.Ratio; s++ {

@@ -249,3 +249,45 @@ func TestRichtmyerFunctional(t *testing.T) {
 		t.Errorf("Richtmyer strategies differ by %v", d)
 	}
 }
+
+// TestPhaseBreakdownPopulated checks the functional run reports a
+// per-phase breakdown whose compute time covers every rank's clock
+// advance and whose wait sums match the scalar aggregates.
+func TestPhaseBreakdownPopulated(t *testing.T) {
+	out, err := Run(testConfig(), baseOpts(Concurrent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Phases) == 0 {
+		t.Fatal("no phase breakdown")
+	}
+	byName := map[string]mpi.PhaseTotal{}
+	var wait, maxWait float64
+	for _, ph := range out.Phases {
+		byName[ph.Name] = ph
+		wait += ph.Sum.Wait
+		if ph.MaxWait > maxWait {
+			maxWait = ph.MaxWait
+		}
+	}
+	for _, want := range []string{"parent", "coupling", "nest:nest1", "nest:nest2", "collect"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("missing phase %q (have %v)", want, out.Phases)
+		}
+	}
+	if byName["parent"].Sum.Compute <= 0 || byName["parent"].Sum.SendCount == 0 {
+		t.Errorf("parent phase looks empty: %+v", byName["parent"])
+	}
+	// Every rank must have entered the parent phase.
+	if byName["parent"].Ranks != 32 {
+		t.Errorf("parent phase ranks = %d, want 32", byName["parent"].Ranks)
+	}
+	if avg := wait / 32; math.Abs(avg-out.AvgWait) > 1e-9*math.Max(1, out.AvgWait) {
+		t.Errorf("phase wait sum/ranks = %v, AvgWait = %v", avg, out.AvgWait)
+	}
+	// MaxWait is over ranks, max phase wait is over (phase, rank) pairs,
+	// so the former bounds the latter from above.
+	if maxWait > out.MaxWait+1e-12 {
+		t.Errorf("max phase wait %v exceeds MaxWait %v", maxWait, out.MaxWait)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"nestwrf/internal/iosim"
 	"nestwrf/internal/machine"
 	"nestwrf/internal/mapping"
+	"nestwrf/internal/metrics"
 	"nestwrf/internal/mpi"
 	"nestwrf/internal/nest"
 	"nestwrf/internal/output"
@@ -110,9 +111,10 @@ type AllocPolicy = driver.AllocPolicy
 
 // Allocation policies of Sections 3.2 and 4.6.
 const (
-	AllocPredicted   = driver.AllocPredicted
-	AllocNaivePoints = driver.AllocNaivePoints
-	AllocEqual       = driver.AllocEqual
+	AllocPredicted       = driver.AllocPredicted
+	AllocNaivePoints     = driver.AllocNaivePoints
+	AllocEqual           = driver.AllocEqual
+	AllocStripsPredicted = driver.AllocStripsPredicted
 )
 
 // I/O modes of the evaluation platforms.
@@ -120,6 +122,10 @@ const (
 	IOCollective = iosim.Collective // PnetCDF (BG/P)
 	IOSplit      = iosim.Split      // split files (BG/L)
 )
+
+// ParseIOMode parses an I/O mode name ("pnetcdf"/"collective" or
+// "split"), the inverse of the mode's String.
+func ParseIOMode(s string) (iosim.Mode, error) { return iosim.ParseMode(s) }
 
 // Predictor is the interpolation-based performance model of
 // Section 3.1.
@@ -412,6 +418,75 @@ type TraceLog = trace.Log
 // TraceLog.Render.
 func TraceIteration(res Result, strategy Strategy) *TraceLog {
 	return driver.TraceIteration(res, strategy)
+}
+
+// MetricsRegistry collects run-level counters, gauges and histograms;
+// set Options.Metrics to one to have Simulate record into it, and
+// render with its Snapshot().Text() or WriteJSON. A nil registry is a
+// valid no-op sink.
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry returns an empty, race-safe metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// Report is the structured record of one simulated run: configuration,
+// totals, per-domain phase breakdowns (compute / transfer / wait /
+// coupling), per-sibling predicted-vs-realized shares, link-congestion
+// summaries and I/O events, under the stable JSON schema
+// "nestwrf/run-report/v1".
+type Report = driver.Report
+
+// ComparisonReport pairs both strategies' run reports with the
+// headline improvements, under "nestwrf/compare-report/v1".
+type ComparisonReport = driver.ComparisonReport
+
+// SimulateWithReport is Simulate plus the structured run report.
+func SimulateWithReport(cfg *Domain, opt Options) (Result, *Report, error) {
+	return driver.RunWithReport(cfg, opt)
+}
+
+// CompareWithReport is Compare plus the structured comparison report
+// (both strategies' full reports and the improvement headlines).
+func CompareWithReport(cfg *Domain, opt Options) (Comparison, *ComparisonReport, error) {
+	seqOpt := opt
+	seqOpt.Strategy = driver.Sequential
+	seqOpt.MapKind = driver.MapSequential
+	seq, seqRep, err := driver.RunWithReport(cfg, seqOpt)
+	if err != nil {
+		return Comparison{}, nil, err
+	}
+	conOpt := opt
+	conOpt.Strategy = driver.Concurrent
+	con, conRep, err := driver.RunWithReport(cfg, conOpt)
+	if err != nil {
+		return Comparison{}, nil, err
+	}
+	cmp := Comparison{
+		Default:             seq,
+		Concurrent:          con,
+		ImprovementPct:      stats.Improvement(seq.IterTime, con.IterTime),
+		TotalImprovementPct: stats.Improvement(seq.Total(), con.Total()),
+		WaitImprovementPct:  stats.Improvement(seq.WaitAvg, con.WaitAvg),
+	}
+	return cmp, driver.NewComparisonReport(seqRep, conRep), nil
+}
+
+// DecodeRunReport reads a JSON run report, rejecting unknown schemas.
+func DecodeRunReport(r io.Reader) (*Report, error) { return driver.DecodeReport(r) }
+
+// DecodeComparisonReport reads a JSON comparison report.
+func DecodeComparisonReport(r io.Reader) (*ComparisonReport, error) {
+	return driver.DecodeComparisonReport(r)
+}
+
+// TraceProcess names one TraceLog for Chrome trace export.
+type TraceProcess = trace.ChromeProcess
+
+// WriteChromeTrace serializes trace logs in the Chrome trace-event
+// JSON format, loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing; each process becomes its own track group.
+func WriteChromeTrace(w io.Writer, procs ...TraceProcess) error {
+	return trace.WriteChrome(w, procs...)
 }
 
 // RunCampaign simulates a campaign whose regions of interest change

@@ -222,3 +222,67 @@ func TestTrainPredictorAccessible(t *testing.T) {
 		t.Errorf("prediction %v", got)
 	}
 }
+
+// TestObservabilityFacade drives the new run-report, metrics and
+// Chrome-trace surface through the public API only.
+func TestObservabilityFacade(t *testing.T) {
+	reg := nestwrf.NewMetricsRegistry()
+	opt := nestwrf.Options{
+		Machine: nestwrf.BlueGeneL(),
+		Ranks:   1024,
+		MapKind: nestwrf.MapMultiLevel,
+		Metrics: reg,
+	}
+	cmp, rep, err := nestwrf.CompareWithReport(table2(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Default == nil || rep.Concurrent == nil {
+		t.Fatalf("comparison report missing runs: %+v", rep)
+	}
+	if rep.ImprovementPct != cmp.ImprovementPct {
+		t.Errorf("report improvement %v != comparison %v", rep.ImprovementPct, cmp.ImprovementPct)
+	}
+	if len(rep.Concurrent.Siblings) != 4 {
+		t.Errorf("siblings = %+v", rep.Concurrent.Siblings)
+	}
+	for _, s := range rep.Concurrent.Siblings {
+		if s.PredictedShare <= 0 || s.PhaseSeconds <= 0 {
+			t.Errorf("sibling %s missing prediction data: %+v", s.Name, s)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rep.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nestwrf.DecodeComparisonReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	buf.Reset()
+	err = nestwrf.WriteChromeTrace(&buf,
+		nestwrf.TraceProcess{Name: "sequential", Log: nestwrf.TraceIteration(cmp.Default, nestwrf.StrategySequential)},
+		nestwrf.TraceProcess{Name: "concurrent", Log: nestwrf.TraceIteration(cmp.Concurrent, nestwrf.StrategyConcurrent)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents"`) || !strings.Contains(buf.String(), "sibling1") {
+		t.Errorf("chrome trace missing content: %s", buf.String()[:200])
+	}
+
+	if text := reg.Snapshot().Text(); !strings.Contains(text, "driver_runs_total") {
+		t.Errorf("metrics registry empty:\n%s", text)
+	}
+}
+
+func TestParseIOModeFacade(t *testing.T) {
+	m, err := nestwrf.ParseIOMode("split")
+	if err != nil || m != nestwrf.IOSplit {
+		t.Errorf("ParseIOMode(split) = %v, %v", m, err)
+	}
+	if _, err := nestwrf.ParseIOMode("hdf5"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
