@@ -1,0 +1,145 @@
+// Command benchsnap runs the repository benchmarks and writes a JSON
+// snapshot of ns/op, B/op and allocs/op per benchmark. Snapshots are
+// committed alongside performance PRs (BENCH_<pr>.json) so regressions
+// are visible in review without re-running the suite.
+//
+// Usage:
+//
+//	go run ./cmd/benchsnap -bench 'PerIteration85|Table1Wait|AllExperimentsSequential' -o BENCH_4.json
+//
+// By default it runs each benchmark for a single iteration
+// (-benchtime 1x), which is what the committed snapshots use: the
+// experiment benchmarks are long enough that one iteration is a stable
+// signal, and the snapshot is about orders of magnitude, not
+// nanosecond precision.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+)
+
+// Result is one benchmark's measurements.
+type Result struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Snapshot is the file format: benchmark name -> result, plus the
+// settings used to take it.
+type Snapshot struct {
+	BenchTime string            `json:"benchtime"`
+	Pattern   string            `json:"pattern"`
+	GoVersion string            `json:"go_version"`
+	Results   map[string]Result `json:"results"`
+}
+
+// benchLine matches `go test -bench` output lines such as
+// "BenchmarkPerIteration85-8   1   166000000 ns/op   12345 B/op   678 allocs/op"
+// (the B/op and allocs/op columns appear only with -benchmem).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	var (
+		bench     = flag.String("bench", ".", "benchmark regex passed to go test -bench")
+		benchtime = flag.String("benchtime", "1x", "value passed to go test -benchtime")
+		pkg       = flag.String("pkg", ".", "package to benchmark")
+		out       = flag.String("o", "", "output JSON file (default stdout)")
+	)
+	flag.Parse()
+
+	raw, err := runBench(*pkg, *bench, *benchtime)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	snap, err := parse(raw, *bench, *benchtime)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchsnap: wrote %d results to %s\n", len(snap.Results), *out)
+}
+
+// runBench shells out to go test with run disabled so only benchmarks
+// execute, and returns the combined output.
+func runBench(pkg, bench, benchtime string) ([]byte, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", bench, "-benchtime", benchtime, "-benchmem", pkg)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return buf.Bytes(), fmt.Errorf("go test -bench: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// parse extracts benchmark lines from go test output into a Snapshot.
+func parse(raw []byte, pattern, benchtime string) (*Snapshot, error) {
+	snap := &Snapshot{
+		BenchTime: benchtime,
+		Pattern:   pattern,
+		GoVersion: runtime.Version(),
+		Results:   map[string]Result{},
+	}
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := Result{Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		snap.Results[m[1]] = r
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(snap.Results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in go test output")
+	}
+	// Echo a sorted summary so a terminal run reads like benchstat.
+	names := make([]string, 0, len(snap.Results))
+	for n := range snap.Results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r := snap.Results[n]
+		fmt.Fprintf(os.Stderr, "%-40s %12.0f ns/op %12d B/op %10d allocs/op\n",
+			n, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	return snap, nil
+}

@@ -28,6 +28,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"nestwrf/internal/experiments"
@@ -40,29 +41,68 @@ func main() {
 	md := flag.Bool("md", false, "emit markdown instead of aligned text")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent experiments and per-experiment configurations")
 	debugAddr := flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address while running, e.g. localhost:6060")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
 	if *debugAddr != "" {
 		startDebugServer(*debugAddr)
 	}
 
+	// The work runs inside realMain so the profile defers flush before
+	// os.Exit; os.Exit itself would skip them.
+	os.Exit(realMain(*list, *run, *all, *md, *parallel, *cpuProfile, *memProfile))
+}
+
+func realMain(list bool, run string, all, md bool, parallel int, cpuProfile, memProfile string) int {
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if memProfile != "" {
+		defer func() {
+			f, err := os.Create(memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: -memprofile: %v\n", err)
+			}
+		}()
+	}
+
 	switch {
-	case *list:
+	case list:
 		for _, e := range experiments.All() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
 		}
-	case *run != "":
-		exps, err := selectExperiments(*run)
+		return 0
+	case run != "":
+		exps, err := selectExperiments(run)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%v; try -list\n", err)
-			os.Exit(2)
+			return 2
 		}
-		os.Exit(emitAll(experiments.RunConcurrent(exps, *parallel), *md))
-	case *all:
-		os.Exit(emitAll(experiments.RunAll(*parallel), *md))
+		return emitAll(experiments.RunConcurrent(exps, parallel), md)
+	case all:
+		return emitAll(experiments.RunAll(parallel), md)
 	default:
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 }
 

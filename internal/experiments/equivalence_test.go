@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"nestwrf/internal/alloc"
+	"nestwrf/internal/machine"
+	"nestwrf/internal/mapping"
+	"nestwrf/internal/model"
+	"nestwrf/internal/netsim"
+)
+
+// renderAll runs every registered experiment sequentially and renders
+// the tables the way cmd/experiments does for a successful -all run.
+func renderAll(t *testing.T) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, o := range RunAll(1) {
+		if o.Err != nil {
+			t.Fatalf("%s: %v", o.Experiment.ID, o.Err)
+		}
+		sb.WriteString(o.Table.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// resetPredictorCache drops fitted predictors so the next run rebuilds
+// them through whichever netsim/model path is active.
+func resetPredictorCache() {
+	predMu.Lock()
+	for k := range predCache {
+		delete(predCache, k)
+	}
+	predMu.Unlock()
+}
+
+// TestFastPathOutputByteIdentical is the PR 4 equivalence guard: the
+// dense cached-route netsim plus memoized model.stepCost must render
+// the full experiment suite byte-identically to the retained reference
+// slow path (map-based link loads, no phase-cost memoization).
+func TestFastPathOutputByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite is slow; skipped with -short")
+	}
+
+	model.ResetCache()
+	resetPredictorCache()
+	fast := renderAll(t)
+
+	netsim.SetReference(true)
+	model.SetMemoize(false)
+	defer func() {
+		netsim.SetReference(false)
+		model.SetMemoize(true)
+	}()
+	model.ResetCache()
+	resetPredictorCache()
+	ref := renderAll(t)
+
+	if fast != ref {
+		fastLines := strings.Split(fast, "\n")
+		refLines := strings.Split(ref, "\n")
+		for i := 0; i < len(fastLines) && i < len(refLines); i++ {
+			if fastLines[i] != refLines[i] {
+				t.Fatalf("output diverges at line %d:\nfast: %q\nref:  %q", i+1, fastLines[i], refLines[i])
+			}
+		}
+		t.Fatalf("output lengths differ: fast %d lines, reference %d lines", len(fastLines), len(refLines))
+	}
+}
+
+// TestMappingHopMetricsUnchanged pins the mapping-level hop metrics:
+// the torus rework must not perturb Analyze reports in either mode.
+func TestMappingHopMetricsUnchanged(t *testing.T) {
+	g, err := machine.GridFor(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tor, err := machine.TorusFor(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rects := []alloc.Rect{{X: 0, Y: 0, W: 8, H: 16}, {X: 8, Y: 0, W: 8, H: 16}}
+	build := func() mapping.Report {
+		mp, err := mapping.MultiLevel(g, tor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := mapping.Analyze(mp, rects)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	fastRep := build()
+	netsim.SetReference(true)
+	defer netsim.SetReference(false)
+	refRep := build()
+	if fastRep.ParentAvg != refRep.ParentAvg || fastRep.ParentMax != refRep.ParentMax {
+		t.Fatalf("parent hop metrics changed: fast %+v, reference %+v", fastRep, refRep)
+	}
+	for i := range fastRep.SiblingAvg {
+		if fastRep.SiblingAvg[i] != refRep.SiblingAvg[i] || fastRep.SiblingMax[i] != refRep.SiblingMax[i] {
+			t.Fatalf("sibling %d hop metrics changed: fast %+v, reference %+v", i, fastRep, refRep)
+		}
+	}
+}

@@ -23,6 +23,21 @@ type Mapping struct {
 	Torus  torus.Torus
 	Name   string
 	nodeOf []torus.Coord
+	// key identifies the mapping's content exactly: every constructor is
+	// deterministic in its parameters, so (constructor, parameters) pins
+	// nodeOf. Used by the model layer's phase-cost memoization.
+	key string
+}
+
+// Key returns a string that uniquely identifies the rank-to-node
+// assignment: two Mappings with equal keys are guaranteed to have
+// identical nodeOf tables (constructors are deterministic in the
+// parameters the key encodes). Empty for hand-built Mappings.
+func (m *Mapping) Key() string { return m.key }
+
+// baseKey renders the (constructor, grid, torus) part of a mapping key.
+func baseKey(name string, g vtopo.Grid, t torus.Torus) string {
+	return fmt.Sprintf("%s|%dx%d|%dx%dx%d", name, g.Px, g.Py, t.X, t.Y, t.Z)
 }
 
 // Errors returned by the constructors.
@@ -73,7 +88,7 @@ func Sequential(g vtopo.Grid, t torus.Torus) (*Mapping, error) {
 	if err := check(g, t); err != nil {
 		return nil, err
 	}
-	m := &Mapping{Grid: g, Torus: t, Name: "sequential", nodeOf: make([]torus.Coord, g.Size())}
+	m := &Mapping{Grid: g, Torus: t, Name: "sequential", nodeOf: make([]torus.Coord, g.Size()), key: baseKey("sequential", g, t)}
 	for r := range m.nodeOf {
 		m.nodeOf[r] = t.CoordOf(r)
 	}
@@ -91,7 +106,8 @@ func TXYZ(g vtopo.Grid, t torus.Torus, coresPerNode int) (*Mapping, error) {
 		return nil, fmt.Errorf("%w: Z=%d, T=%d", ErrBadTDim, t.Z, coresPerNode)
 	}
 	reduced := torus.Torus{X: t.X, Y: t.Y, Z: t.Z / coresPerNode}
-	m := &Mapping{Grid: g, Torus: t, Name: "txyz", nodeOf: make([]torus.Coord, g.Size())}
+	m := &Mapping{Grid: g, Torus: t, Name: "txyz", nodeOf: make([]torus.Coord, g.Size()),
+		key: fmt.Sprintf("%s|cores=%d", baseKey("txyz", g, t), coresPerNode)}
 	for r := range m.nodeOf {
 		slot := r % coresPerNode
 		c := reduced.CoordOf(r / coresPerNode)
@@ -131,7 +147,7 @@ func MultiLevel(g vtopo.Grid, t torus.Torus) (*Mapping, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Mapping{Grid: g, Torus: t, Name: "multilevel", nodeOf: make([]torus.Coord, g.Size())}
+	m := &Mapping{Grid: g, Torus: t, Name: "multilevel", nodeOf: make([]torus.Coord, g.Size()), key: baseKey("multilevel", g, t)}
 	for r := range m.nodeOf {
 		x, y := g.Coord(r)
 		sx, lx := x/t.X, x%t.X
@@ -159,7 +175,7 @@ func BestEffort(g vtopo.Grid, t torus.Torus) (*Mapping, error) {
 	} else if !errors.Is(err, ErrNotFoldable) {
 		return nil, err
 	}
-	m := &Mapping{Grid: g, Torus: t, Name: "besteffort", nodeOf: make([]torus.Coord, g.Size())}
+	m := &Mapping{Grid: g, Torus: t, Name: "besteffort", nodeOf: make([]torus.Coord, g.Size()), key: baseKey("besteffort", g, t)}
 	for i, r := range serpentineRanks(g) {
 		m.nodeOf[r] = serpentineCoord(t, i)
 	}
@@ -185,7 +201,11 @@ func PartitionMapping(g vtopo.Grid, t torus.Torus, rects []alloc.Rect) (*Mapping
 	if err := alloc.Validate(rects, g.Px, g.Py); err != nil {
 		return nil, err
 	}
-	m := &Mapping{Grid: g, Torus: t, Name: "partition", nodeOf: make([]torus.Coord, g.Size())}
+	key := baseKey("partition", g, t)
+	for _, rect := range rects {
+		key += fmt.Sprintf("|%d,%d,%d,%d", rect.X, rect.Y, rect.W, rect.H)
+	}
+	m := &Mapping{Grid: g, Torus: t, Name: "partition", nodeOf: make([]torus.Coord, g.Size()), key: key}
 
 	if fx, _, err := foldParams(g, t); err == nil {
 		// Foldable: fold like MultiLevel, but when every partition aligns

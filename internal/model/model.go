@@ -10,12 +10,15 @@ package model
 
 import (
 	"math"
+	"strconv"
+	"sync"
 
 	"nestwrf/internal/alloc"
 	"nestwrf/internal/machine"
 	"nestwrf/internal/mapping"
 	"nestwrf/internal/nest"
 	"nestwrf/internal/netsim"
+	"nestwrf/internal/torus"
 	"nestwrf/internal/vtopo"
 )
 
@@ -82,43 +85,162 @@ func PhaseCostsNoContention(m machine.Machine, mp *mapping.Mapping, placements [
 // separate entry point so the uninstrumented path stays allocation-
 // identical.
 func PhaseCostsCongestion(m machine.Machine, mp *mapping.Mapping, placements []Placement) ([]StepCost, netsim.Congestion) {
-	net, err := netsim.New(mp.Torus, m.Net)
+	net := acquireNet(mp.Torus, m.Net)
+	addPhaseFlows(net, mp, placements)
+	out := make([]StepCost, len(placements))
+	for i, p := range placements {
+		out[i] = stepCost(m, mp, net, p)
+	}
+	stats := net.Stats()
+	releaseNet(net)
+	return out, stats
+}
+
+// Phase-cost memoization (DESIGN.md Section 8). A phase's StepCosts
+// are fully determined by the machine's cost parameters, the mapping's
+// rank-to-node table, the contention flag, and the placements' domain
+// extents and subgrid rectangles — all of which the key below encodes
+// exactly (floats by their IEEE-754 bit patterns). Sweep experiments
+// re-evaluate identical phases across steps, strategies and repeated
+// configurations, so this is the model-layer analogue of the
+// experiment harness's shared predictor cache.
+var (
+	memoize    = true
+	phaseMu    sync.RWMutex
+	phaseCache = map[string][]StepCost{}
+)
+
+// SetMemoize enables or disables the phase-cost cache. Only tests
+// should call this, and never while simulations run concurrently.
+func SetMemoize(on bool) { memoize = on }
+
+// ResetCache drops all memoized phase costs.
+func ResetCache() {
+	phaseMu.Lock()
+	phaseCache = map[string][]StepCost{}
+	phaseMu.Unlock()
+}
+
+// appendBits appends the exact bit pattern of a float64 to a cache key.
+func appendBits(b []byte, v float64) []byte {
+	return strconv.AppendUint(append(b, ':'), math.Float64bits(v), 16)
+}
+
+// phaseKey renders the memoization key for one phase evaluation, or
+// ok=false when the mapping carries no content key (hand-built).
+func phaseKey(m machine.Machine, mp *mapping.Mapping, placements []Placement, contention bool) (string, bool) {
+	mk := mp.Key()
+	if mk == "" {
+		return "", false
+	}
+	b := make([]byte, 0, 160+32*len(placements))
+	b = append(b, mk...)
+	b = appendBits(b, m.PointCost)
+	b = appendBits(b, m.StepOverhead)
+	b = appendBits(b, m.BytesPerPoint)
+	b = appendBits(b, m.Net.LatencyPerHop)
+	b = appendBits(b, m.Net.Overhead)
+	b = appendBits(b, m.Net.Bandwidth)
+	b = strconv.AppendInt(append(b, ':'), int64(m.ExchangesPerStep), 10)
+	if contention {
+		b = append(b, '+')
+	}
+	for _, p := range placements {
+		b = append(b, '|')
+		b = strconv.AppendInt(b, int64(p.D.NX), 10)
+		b = append(b, 'x')
+		b = strconv.AppendInt(b, int64(p.D.NY), 10)
+		b = append(b, '@')
+		b = strconv.AppendInt(b, int64(p.SG.Rect.X), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(p.SG.Rect.Y), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(p.SG.Rect.W), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(p.SG.Rect.H), 10)
+		b = append(b, '/')
+		b = strconv.AppendInt(b, int64(p.SG.Parent.Px), 10)
+		b = append(b, 'x')
+		b = strconv.AppendInt(b, int64(p.SG.Parent.Py), 10)
+	}
+	return string(b), true
+}
+
+// netPools reuses Network scratch state (the dense load array and
+// touched-link list) across phaseCosts calls, keyed by the network's
+// identity so pooled items are always directly reusable.
+var netPools sync.Map // netPoolKey -> *sync.Pool
+
+type netPoolKey struct {
+	t torus.Torus
+	p netsim.Params
+}
+
+func acquireNet(t torus.Torus, p netsim.Params) *netsim.Network {
+	key := netPoolKey{t: t, p: p}
+	poolAny, ok := netPools.Load(key)
+	if !ok {
+		poolAny, _ = netPools.LoadOrStore(key, &sync.Pool{})
+	}
+	pool := poolAny.(*sync.Pool)
+	if n, ok := pool.Get().(*netsim.Network); ok && n != nil {
+		n.Reset()
+		return n
+	}
+	n, err := netsim.New(t, p)
 	if err != nil {
+		// Machine parameters are validated at construction; a failure here
+		// is a programming error.
 		panic(err)
 	}
+	return n
+}
+
+func releaseNet(n *netsim.Network) {
+	if poolAny, ok := netPools.Load(netPoolKey{t: n.Torus, p: n.Params}); ok {
+		poolAny.(*sync.Pool).Put(n)
+	}
+}
+
+func phaseCosts(m machine.Machine, mp *mapping.Mapping, placements []Placement, contention bool) []StepCost {
+	key, cacheable := "", false
+	if memoize {
+		key, cacheable = phaseKey(m, mp, placements, contention)
+		if cacheable {
+			phaseMu.RLock()
+			cached, ok := phaseCache[key]
+			phaseMu.RUnlock()
+			if ok {
+				return cached
+			}
+		}
+	}
+	net := acquireNet(mp.Torus, m.Net)
+	if contention {
+		addPhaseFlows(net, mp, placements)
+	}
+	out := make([]StepCost, len(placements))
+	for i, p := range placements {
+		out[i] = stepCost(m, mp, net, p)
+	}
+	releaseNet(net)
+	if cacheable {
+		phaseMu.Lock()
+		phaseCache[key] = out
+		phaseMu.Unlock()
+	}
+	return out
+}
+
+// addPhaseFlows accumulates the halo-exchange link loads of every
+// placement onto net.
+func addPhaseFlows(net *netsim.Network, mp *mapping.Mapping, placements []Placement) {
 	for _, p := range placements {
 		for _, pr := range haloPairs(p) {
 			net.AddFlow(mp.NodeOf(pr[0]), mp.NodeOf(pr[1]))
 			net.AddFlow(mp.NodeOf(pr[1]), mp.NodeOf(pr[0]))
 		}
 	}
-	out := make([]StepCost, len(placements))
-	for i, p := range placements {
-		out[i] = stepCost(m, mp, net, p)
-	}
-	return out, net.Stats()
-}
-
-func phaseCosts(m machine.Machine, mp *mapping.Mapping, placements []Placement, contention bool) []StepCost {
-	net, err := netsim.New(mp.Torus, m.Net)
-	if err != nil {
-		// Machine parameters are validated at construction; a failure here
-		// is a programming error.
-		panic(err)
-	}
-	if contention {
-		for _, p := range placements {
-			for _, pr := range haloPairs(p) {
-				net.AddFlow(mp.NodeOf(pr[0]), mp.NodeOf(pr[1]))
-				net.AddFlow(mp.NodeOf(pr[1]), mp.NodeOf(pr[0]))
-			}
-		}
-	}
-	out := make([]StepCost, len(placements))
-	for i, p := range placements {
-		out[i] = stepCost(m, mp, net, p)
-	}
-	return out
 }
 
 // stepCost evaluates one placement under the prepared network loads.

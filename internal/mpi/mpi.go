@@ -46,6 +46,10 @@ type message struct {
 	arrival float64 // virtual arrival time
 }
 
+// msgPool recycles message headers between Send and Recv. Payload
+// slices are not pooled: ownership of the data passes to the receiver.
+var msgPool = sync.Pool{New: func() any { return new(message) }}
+
 // matchKey identifies a receive queue.
 type matchKey struct {
 	src  int
@@ -54,11 +58,16 @@ type matchKey struct {
 }
 
 // World is one simulated job: n ranks plus shared mailboxes.
+//
+// Wakeups are targeted (DESIGN.md Section 8): each rank blocks on its
+// own condition variable, so a delivery wakes exactly the receiving
+// rank instead of broadcasting to every blocked goroutine — the
+// thundering herd the previous single world-wide sync.Cond caused.
 type World struct {
 	n     int
 	tm    TimeModel
 	mu    sync.Mutex
-	cond  *sync.Cond
+	conds []*sync.Cond              // per-rank wakeups, all sharing mu
 	boxes []map[matchKey][]*message // per receiver global rank
 	// blocked counts ranks currently waiting in Recv; queued counts
 	// undelivered messages. When every live rank is blocked and nothing
@@ -68,6 +77,14 @@ type World struct {
 	alive   int
 	failed  bool
 	commSeq int
+}
+
+// wakeAll signals every rank's condition variable. Called with mu held,
+// and only on failure/deadlock paths — never in steady state.
+func (w *World) wakeAll() {
+	for _, c := range w.conds {
+		c.Broadcast()
+	}
 }
 
 // ErrDeadlock is reported when every rank is blocked in Recv with no
@@ -142,9 +159,10 @@ func Run(n int, tm TimeModel, fn func(p *Proc) error) ([]*Proc, error) {
 		return nil, fmt.Errorf("mpi: need at least 1 rank, got %d", n)
 	}
 	w := &World{n: n, tm: tm, alive: n, commSeq: 1}
-	w.cond = sync.NewCond(&w.mu)
+	w.conds = make([]*sync.Cond, n)
 	w.boxes = make([]map[matchKey][]*message, n)
 	for i := range w.boxes {
+		w.conds[i] = sync.NewCond(&w.mu)
 		w.boxes[i] = make(map[matchKey][]*message)
 	}
 	procs := make([]*Proc, n)
@@ -164,7 +182,12 @@ func Run(n int, tm TimeModel, fn func(p *Proc) error) ([]*Proc, error) {
 			defer func() {
 				w.mu.Lock()
 				w.alive--
-				w.cond.Broadcast()
+				// A rank's exit can complete the deadlock condition for the
+				// remaining blocked ranks; wake them so they re-check. In a
+				// clean run nothing is blocked here and no one is woken.
+				if w.failed || (w.blocked >= w.alive && w.queued == 0) {
+					w.wakeAll()
+				}
 				w.mu.Unlock()
 			}()
 			errs[r] = fn(procs[r])
@@ -281,13 +304,12 @@ func (c *Comm) Send(to, tag int, data []float64) {
 	dst := c.ranks[to]
 	bytes := 8 * len(data)
 	t := c.w.tm.Transfer(p.rank, dst, bytes)
-	msg := &message{
-		src:     p.rank,
-		tag:     tag,
-		comm:    c.id,
-		data:    append([]float64(nil), data...),
-		arrival: p.clock + t,
-	}
+	msg := msgPool.Get().(*message)
+	msg.src = p.rank
+	msg.tag = tag
+	msg.comm = c.id
+	msg.data = append([]float64(nil), data...)
+	msg.arrival = p.clock + t
 	if p.cur != nil {
 		p.cur.Transfer += t
 		p.cur.SendCount++
@@ -298,7 +320,7 @@ func (c *Comm) Send(to, tag int, data []float64) {
 	key := matchKey{src: p.rank, tag: tag, comm: c.id}
 	w.boxes[dst][key] = append(w.boxes[dst][key], msg)
 	w.queued++
-	w.cond.Broadcast()
+	w.conds[dst].Signal() // wake only the receiver, not the whole world
 	w.mu.Unlock()
 }
 
@@ -323,27 +345,30 @@ func (c *Comm) Recv(from, tag int) ([]float64, error) {
 			w.queued--
 			w.blocked--
 			w.mu.Unlock()
-			if msg.arrival > p.clock {
+			data, arrival := msg.data, msg.arrival
+			msg.data = nil // payload ownership passes to the receiver
+			msgPool.Put(msg)
+			if arrival > p.clock {
 				if p.cur != nil {
-					p.cur.Wait += msg.arrival - p.clock
+					p.cur.Wait += arrival - p.clock
 				}
-				p.wait += msg.arrival - p.clock
-				p.clock = msg.arrival
+				p.wait += arrival - p.clock
+				p.clock = arrival
 			}
 			if p.cur != nil {
 				p.cur.RecvCount++
-				p.cur.RecvBytes += 8 * len(msg.data)
+				p.cur.RecvBytes += 8 * len(data)
 			}
-			return msg.data, nil
+			return data, nil
 		}
 		if w.failed || (w.blocked >= w.alive && w.queued == 0) {
 			w.failed = true
 			w.blocked--
-			w.cond.Broadcast()
+			w.wakeAll()
 			w.mu.Unlock()
 			return nil, ErrDeadlock
 		}
-		w.cond.Wait()
+		w.conds[p.rank].Wait()
 	}
 }
 

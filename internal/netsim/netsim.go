@@ -7,12 +7,23 @@
 // observation that placing siblings on small, compact torus regions
 // "leads to lesser congestion and smaller delay for point-to-point
 // message transfer between neighbouring processes" (Section 4.3.2).
+//
+// Hot-path engineering (DESIGN.md Section 8): link loads live in a
+// dense []int32 indexed by torus.LinkIndex rather than a map keyed by
+// Link structs, routes are resolved through a per-torus cache shared
+// by all Networks (halo pairs repeat across phases, steps and sweep
+// configurations), and Reset clears only the links touched since the
+// previous phase. AddFlow, PathLoad and TransferTime are
+// allocation-free in the steady state. A map-based reference
+// implementation is retained behind an unexported switch so the
+// equivalence tests can mechanically compare the two paths.
 package netsim
 
 import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"nestwrf/internal/torus"
 )
@@ -39,12 +50,77 @@ func (p Params) Validate() error {
 	return nil
 }
 
+// reference switches every Network onto the original map-based load
+// accounting and per-call route construction. It exists solely for the
+// equivalence tests, which assert the dense fast path produces
+// byte-identical results; it must only be toggled when no Networks are
+// in concurrent use.
+var reference bool
+
+// SetReference selects the retained slow path (true) or the dense fast
+// path (false, the default). Only tests should call this, and never
+// while simulations are running concurrently.
+func SetReference(on bool) { reference = on }
+
+// routeCache memoizes dimension-ordered routes (as dense link indices)
+// per source/destination node pair of one torus shape. Halo pairs
+// repeat across phases, steps and sweep configurations, so the cache
+// is shared by every Network over the same torus and guarded for the
+// experiment harness's parallel runs.
+type routeCache struct {
+	mu sync.RWMutex
+	m  map[int64][]torus.LinkIndex
+}
+
+// routeCaches maps torus.Torus (comparable) -> *routeCache.
+var routeCaches sync.Map
+
+func cacheFor(t torus.Torus) *routeCache {
+	if c, ok := routeCaches.Load(t); ok {
+		return c.(*routeCache)
+	}
+	c, _ := routeCaches.LoadOrStore(t, &routeCache{m: make(map[int64][]torus.LinkIndex)})
+	return c.(*routeCache)
+}
+
+// route returns the cached dense-index route from a to b, computing
+// and caching it on first use. The returned slice is shared and must
+// not be mutated. len(route) equals the hop count.
+func (c *routeCache) route(t torus.Torus, a, b torus.Coord) []torus.LinkIndex {
+	key := int64(t.Index(a))<<32 | int64(t.Index(b))
+	c.mu.RLock()
+	r, ok := c.m[key]
+	c.mu.RUnlock()
+	if ok {
+		return r
+	}
+	r = t.RouteIndicesInto(a, b, make([]torus.LinkIndex, 0, t.Hops(a, b)))
+	c.mu.Lock()
+	if prev, ok := c.m[key]; ok {
+		r = prev // another goroutine won the race; keep its slice
+	} else {
+		c.m[key] = r
+	}
+	c.mu.Unlock()
+	return r
+}
+
 // Network accumulates per-link loads for a communication phase and
 // computes message transfer times under the resulting contention.
 type Network struct {
 	Torus  torus.Torus
 	Params Params
-	load   map[torus.Link]int
+
+	// Fast path: dense per-link loads indexed by torus.LinkIndex, the
+	// unique list of touched (load > 0) links for O(touched) Reset and
+	// stats, and the shared per-torus route cache.
+	load    []int32
+	touched []torus.LinkIndex
+	routes  *routeCache
+
+	// Reference path (enabled by SetReference): the original map-based
+	// accounting.
+	refLoad map[torus.Link]int
 }
 
 // New returns a Network for the given torus and parameters.
@@ -52,20 +128,44 @@ func New(t torus.Torus, p Params) (*Network, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &Network{Torus: t, Params: p, load: make(map[torus.Link]int)}, nil
+	n := &Network{Torus: t, Params: p}
+	if reference {
+		n.refLoad = make(map[torus.Link]int)
+		return n, nil
+	}
+	n.load = make([]int32, t.LinkIndexCount())
+	n.routes = cacheFor(t)
+	return n, nil
 }
 
-// Reset clears the accumulated link loads, starting a new phase.
+// Reset clears the accumulated link loads, starting a new phase. Only
+// links touched since the previous Reset are cleared.
 func (n *Network) Reset() {
-	n.load = make(map[torus.Link]int)
+	if n.refLoad != nil {
+		n.refLoad = make(map[torus.Link]int)
+		return
+	}
+	for _, li := range n.touched {
+		n.load[li] = 0
+	}
+	n.touched = n.touched[:0]
 }
 
 // AddFlow registers one message from a to b for the current phase,
 // loading every directed link along its dimension-ordered route.
 // Self-messages add no load.
 func (n *Network) AddFlow(a, b torus.Coord) {
-	for _, l := range n.Torus.Route(a, b) {
-		n.load[l]++
+	if n.refLoad != nil {
+		for _, l := range n.Torus.Route(a, b) {
+			n.refLoad[l]++
+		}
+		return
+	}
+	for _, li := range n.routes.route(n.Torus, a, b) {
+		if n.load[li] == 0 {
+			n.touched = append(n.touched, li)
+		}
+		n.load[li]++
 	}
 }
 
@@ -84,8 +184,20 @@ func (n *Network) AddFlows(pairs [][2]torus.Coord) {
 // and 0 for a == b.
 func (n *Network) PathLoad(a, b torus.Coord) int {
 	max := 0
-	for _, l := range n.Torus.Route(a, b) {
-		c := n.load[l]
+	if n.refLoad != nil {
+		for _, l := range n.Torus.Route(a, b) {
+			c := n.refLoad[l]
+			if c == 0 {
+				c = 1 // count the message under consideration
+			}
+			if c > max {
+				max = c
+			}
+		}
+		return max
+	}
+	for _, li := range n.routes.route(n.Torus, a, b) {
+		c := int(n.load[li])
 		if c == 0 {
 			c = 1 // count the message under consideration
 		}
@@ -100,8 +212,16 @@ func (n *Network) PathLoad(a, b torus.Coord) int {
 // phase.
 func (n *Network) MaxLinkLoad() int {
 	max := 0
-	for _, c := range n.load {
-		if c > max {
+	if n.refLoad != nil {
+		for _, c := range n.refLoad {
+			if c > max {
+				max = c
+			}
+		}
+		return max
+	}
+	for _, li := range n.touched {
+		if c := int(n.load[li]); c > max {
 			max = c
 		}
 	}
@@ -113,8 +233,14 @@ func (n *Network) MaxLinkLoad() int {
 // paper's Section 2.3 (with unit message size).
 func (n *Network) TotalHops() int {
 	sum := 0
-	for _, c := range n.load {
-		sum += c
+	if n.refLoad != nil {
+		for _, c := range n.refLoad {
+			sum += c
+		}
+		return sum
+	}
+	for _, li := range n.touched {
+		sum += int(n.load[li])
 	}
 	return sum
 }
@@ -144,14 +270,27 @@ type Congestion struct {
 // histogram makes visible *why* compact mappings cut MPI_Wait: better
 // placements shift links toward lower multiplicities.
 func (n *Network) Stats() Congestion {
-	c := Congestion{Links: len(n.load)}
+	var c Congestion
 	counts := map[int]int{}
-	for _, load := range n.load {
-		c.TotalHops += load
-		if load > c.MaxLoad {
-			c.MaxLoad = load
+	if n.refLoad != nil {
+		c.Links = len(n.refLoad)
+		for _, load := range n.refLoad {
+			c.TotalHops += load
+			if load > c.MaxLoad {
+				c.MaxLoad = load
+			}
+			counts[load]++
 		}
-		counts[load]++
+	} else {
+		c.Links = len(n.touched)
+		for _, li := range n.touched {
+			load := int(n.load[li])
+			c.TotalHops += load
+			if load > c.MaxLoad {
+				c.MaxLoad = load
+			}
+			counts[load]++
+		}
 	}
 	loads := make([]int, 0, len(counts))
 	for l := range counts {
@@ -171,17 +310,32 @@ func (n *Network) Stats() Congestion {
 //
 // A self-message costs only the software overhead.
 func (n *Network) TransferTime(a, b torus.Coord, bytes int) float64 {
-	hops := n.Torus.Hops(a, b)
-	if hops == 0 {
+	if n.refLoad != nil {
+		hops := n.Torus.Hops(a, b)
+		if hops == 0 {
+			return n.Params.Overhead
+		}
+		kappa := float64(n.PathLoad(a, b))
+		if kappa < 1 {
+			kappa = 1
+		}
+		return n.Params.Overhead +
+			float64(hops)*n.Params.LatencyPerHop +
+			float64(bytes)*kappa/n.Params.Bandwidth
+	}
+	route := n.routes.route(n.Torus, a, b)
+	if len(route) == 0 {
 		return n.Params.Overhead
 	}
-	kappa := float64(n.PathLoad(a, b))
-	if kappa < 1 {
-		kappa = 1
+	max := int32(1)
+	for _, li := range route {
+		if c := n.load[li]; c > max {
+			max = c
+		}
 	}
 	return n.Params.Overhead +
-		float64(hops)*n.Params.LatencyPerHop +
-		float64(bytes)*kappa/n.Params.Bandwidth
+		float64(len(route))*n.Params.LatencyPerHop +
+		float64(bytes)*float64(max)/n.Params.Bandwidth
 }
 
 // UncontendedTime is TransferTime with an empty network (path load 1).

@@ -124,9 +124,16 @@ func (t Torus) Route(a, b Coord) []Link {
 	if n == 0 {
 		return nil
 	}
-	route := make([]Link, 0, n)
+	return t.RouteInto(a, b, make([]Link, 0, n))
+}
+
+// RouteInto appends the dimension-ordered route from a to b onto buf
+// and returns the extended slice, allowing callers to reuse a route
+// buffer across messages instead of allocating per call.
+func (t Torus) RouteInto(a, b Coord, buf []Link) []Link {
 	cur := a
-	step := func(pos, target, size int, d Dim, set func(*Coord, int)) {
+	for dim := DimX; dim <= DimZ; dim++ {
+		pos, target, size := routeAxis(cur, b, t, dim)
 		delta := wrapDelta(pos, target, size)
 		dir := int8(1)
 		if delta < 0 {
@@ -134,16 +141,100 @@ func (t Torus) Route(a, b Coord) []Link {
 			delta = -delta
 		}
 		for i := 0; i < delta; i++ {
-			route = append(route, Link{From: cur, Dim: d, Dir: dir})
-			next := ((pos+int(dir))%size + size) % size
-			set(&cur, next)
-			pos = next
+			buf = append(buf, Link{From: cur, Dim: dim, Dir: dir})
+			cur = t.Neighbor(cur, dim, dir)
 		}
 	}
-	step(cur.X, b.X, t.X, DimX, func(c *Coord, v int) { c.X = v })
-	step(cur.Y, b.Y, t.Y, DimY, func(c *Coord, v int) { c.Y = v })
-	step(cur.Z, b.Z, t.Z, DimZ, func(c *Coord, v int) { c.Z = v })
-	return route
+	return buf
+}
+
+// RouteFunc calls fn for every directed link of the dimension-ordered
+// route from a to b, in order, without allocating.
+func (t Torus) RouteFunc(a, b Coord, fn func(Link)) {
+	cur := a
+	for dim := DimX; dim <= DimZ; dim++ {
+		pos, target, size := routeAxis(cur, b, t, dim)
+		delta := wrapDelta(pos, target, size)
+		dir := int8(1)
+		if delta < 0 {
+			dir = -1
+			delta = -delta
+		}
+		for i := 0; i < delta; i++ {
+			fn(Link{From: cur, Dim: dim, Dir: dir})
+			cur = t.Neighbor(cur, dim, dir)
+		}
+	}
+}
+
+// routeAxis extracts the current position, target position and ring
+// size of one routing dimension.
+func routeAxis(cur, b Coord, t Torus, d Dim) (pos, target, size int) {
+	switch d {
+	case DimX:
+		return cur.X, b.X, t.X
+	case DimY:
+		return cur.Y, b.Y, t.Y
+	default:
+		return cur.Z, b.Z, t.Z
+	}
+}
+
+// LinkIndex is the dense linear index of a directed link: every node
+// owns six outgoing slots (three dimensions x two directions), so all
+// per-link state fits in a flat array of 6*Nodes() entries. It exists
+// so the network simulator can accumulate link loads without hashing
+// Link structs.
+type LinkIndex int32
+
+// LinkIndexCount returns the size of the dense link-index space,
+// 6*Nodes(). Slots for links that do not physically exist (rings of
+// length <= 1) are simply never produced by routes.
+func (t Torus) LinkIndexCount() int { return 6 * t.Nodes() }
+
+// LinkIndexOf returns the dense index of l.
+func (t Torus) LinkIndexOf(l Link) LinkIndex {
+	slot := 2 * int(l.Dim)
+	if l.Dir < 0 {
+		slot++
+	}
+	return LinkIndex(6*t.Index(l.From) + slot)
+}
+
+// LinkAt is the inverse of LinkIndexOf.
+func (t Torus) LinkAt(i LinkIndex) Link {
+	node, slot := int(i)/6, int(i)%6
+	dir := int8(1)
+	if slot%2 == 1 {
+		dir = -1
+	}
+	return Link{From: t.CoordOf(node), Dim: Dim(slot / 2), Dir: dir}
+}
+
+// RouteIndicesInto appends the dense link indices of the
+// dimension-ordered route from a to b onto buf and returns the
+// extended slice. It is the allocation-free workhorse of the network
+// simulator's route cache.
+func (t Torus) RouteIndicesInto(a, b Coord, buf []LinkIndex) []LinkIndex {
+	cur := a
+	curIdx := t.Index(cur)
+	for dim := DimX; dim <= DimZ; dim++ {
+		pos, target, size := routeAxis(cur, b, t, dim)
+		delta := wrapDelta(pos, target, size)
+		dir := int8(1)
+		slot := 2 * int(dim)
+		if delta < 0 {
+			dir = -1
+			delta = -delta
+			slot++
+		}
+		for i := 0; i < delta; i++ {
+			buf = append(buf, LinkIndex(6*curIdx+slot))
+			cur = t.Neighbor(cur, dim, dir)
+			curIdx = t.Index(cur)
+		}
+	}
+	return buf
 }
 
 // Neighbor returns the coordinate one hop from c in dimension d,

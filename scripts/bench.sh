@@ -1,0 +1,17 @@
+#!/bin/sh
+# bench.sh — take a benchmark snapshot for a performance PR.
+#
+# Usage:
+#   scripts/bench.sh [output.json] [bench-regex]
+#
+# Defaults snapshot the three headline benchmarks the perf PRs track
+# (per-iteration model, Table 1 wait-time sweep, full experiment suite)
+# at one iteration each with -benchmem, matching the committed
+# BENCH_<pr>.json files. Pass '.' as the regex for the full suite.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_snapshot.json}"
+BENCH="${2:-PerIteration85\$|Table1Wait\$|AllExperimentsSequential\$}"
+
+go run ./cmd/benchsnap -bench "$BENCH" -benchtime 1x -o "$OUT"
