@@ -26,6 +26,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // Result is one benchmark's measurements.
@@ -45,10 +46,12 @@ type Snapshot struct {
 	Results   map[string]Result `json:"results"`
 }
 
-// benchLine matches `go test -bench` output lines such as
-// "BenchmarkPerIteration85-8   1   166000000 ns/op   12345 B/op   678 allocs/op"
-// (the B/op and allocs/op columns appear only with -benchmem).
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+// benchLine matches the prefix of `go test -bench` output lines such as
+// "BenchmarkPerIteration85-8   1   166000000 ns/op   12345 B/op ...";
+// the measurement columns after the iteration count are value/unit
+// pairs parsed separately (custom metrics like sim-ms can appear
+// between ns/op and the -benchmem columns).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)((?:\s+[\d.eE+-]+ \S+)+)$`)
 
 func main() {
 	var (
@@ -116,11 +119,17 @@ func parse(raw []byte, pattern, benchtime string) (*Snapshot, error) {
 			continue
 		}
 		iters, _ := strconv.ParseInt(m[2], 10, 64)
-		ns, _ := strconv.ParseFloat(m[3], 64)
-		r := Result{Iterations: iters, NsPerOp: ns}
-		if m[4] != "" {
-			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
-			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		r := Result{Iterations: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp, _ = strconv.ParseFloat(fields[i], 64)
+			case "B/op":
+				r.BytesPerOp, _ = strconv.ParseInt(fields[i], 10, 64)
+			case "allocs/op":
+				r.AllocsPerOp, _ = strconv.ParseInt(fields[i], 10, 64)
+			}
 		}
 		snap.Results[m[1]] = r
 	}

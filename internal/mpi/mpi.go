@@ -14,6 +14,7 @@ package mpi
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync"
 )
@@ -47,7 +48,10 @@ type message struct {
 }
 
 // msgPool recycles message headers between Send and Recv. Payload
-// slices are not pooled: ownership of the data passes to the receiver.
+// slices are pooled separately and explicitly: a receiver that is done
+// with a payload hands it back with Comm.FreePayload, and senders draw
+// scratch from Comm.AllocPayload, so steady-state traffic recycles a
+// fixed set of buffers instead of allocating per message.
 var msgPool = sync.Pool{New: func() any { return new(message) }}
 
 // matchKey identifies a receive queue.
@@ -55,6 +59,29 @@ type matchKey struct {
 	src  int
 	tag  int
 	comm int
+}
+
+// msgq is one (src, tag, comm) receive queue. Queues are created on
+// first use and then live for the world's lifetime with their backing
+// array reused, so steady-state delivery never allocates (the previous
+// map-of-slices mailbox allocated a fresh one-element slice per
+// message, because drained keys were deleted).
+type msgq struct {
+	q    []*message
+	head int
+}
+
+// payloadClasses is the number of power-of-two payload size classes the
+// world pool keeps (class c holds buffers with capacity >= 1<<c).
+const payloadClasses = 31
+
+// payloadClass returns the class whose buffers can hold n floats:
+// the smallest c with 1<<c >= n.
+func payloadClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
 }
 
 // World is one simulated job: n ranks plus shared mailboxes.
@@ -67,8 +94,9 @@ type World struct {
 	n     int
 	tm    TimeModel
 	mu    sync.Mutex
-	conds []*sync.Cond              // per-rank wakeups, all sharing mu
-	boxes []map[matchKey][]*message // per receiver global rank
+	conds []*sync.Cond                // per-rank wakeups, all sharing mu
+	boxes []map[matchKey]*msgq        // per receiver global rank
+	pools [payloadClasses][][]float64 // payload free lists by size class
 	// blocked counts ranks currently waiting in Recv; queued counts
 	// undelivered messages. When every live rank is blocked and nothing
 	// is queued, the job is deadlocked.
@@ -77,6 +105,47 @@ type World struct {
 	alive   int
 	failed  bool
 	commSeq int
+}
+
+// allocPayload returns a length-n scratch slice drawn from the world
+// pool (or freshly allocated when the pool has nothing large enough).
+// Contents are unspecified; callers overwrite every element.
+func (w *World) allocPayload(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	c := payloadClass(n)
+	if c >= payloadClasses {
+		return make([]float64, n)
+	}
+	w.mu.Lock()
+	if s := w.pools[c]; len(s) > 0 {
+		b := s[len(s)-1]
+		s[len(s)-1] = nil
+		w.pools[c] = s[:len(s)-1]
+		w.mu.Unlock()
+		return b[:n]
+	}
+	w.mu.Unlock()
+	return make([]float64, n, 1<<c)
+}
+
+// freePayload returns a buffer to the world pool. The caller must not
+// touch b afterwards, and must not free the same buffer twice.
+func (w *World) freePayload(b []float64) {
+	c := cap(b)
+	if c == 0 {
+		return
+	}
+	// Floor class: every pooled buffer satisfies cap >= 1<<class, which
+	// is exactly what allocPayload's ceiling class requires.
+	cl := bits.Len(uint(c)) - 1
+	if cl >= payloadClasses {
+		return
+	}
+	w.mu.Lock()
+	w.pools[cl] = append(w.pools[cl], b[:0])
+	w.mu.Unlock()
 }
 
 // wakeAll signals every rank's condition variable. Called with mu held,
@@ -160,10 +229,10 @@ func Run(n int, tm TimeModel, fn func(p *Proc) error) ([]*Proc, error) {
 	}
 	w := &World{n: n, tm: tm, alive: n, commSeq: 1}
 	w.conds = make([]*sync.Cond, n)
-	w.boxes = make([]map[matchKey][]*message, n)
+	w.boxes = make([]map[matchKey]*msgq, n)
 	for i := range w.boxes {
 		w.conds[i] = sync.NewCond(&w.mu)
-		w.boxes[i] = make(map[matchKey][]*message)
+		w.boxes[i] = make(map[matchKey]*msgq)
 	}
 	procs := make([]*Proc, n)
 	errs := make([]error, n)
@@ -298,8 +367,20 @@ func (c *Comm) Global(r int) int { return c.ranks[r] }
 
 // Send delivers data to local rank `to` of the communicator with the
 // given tag. Sends are eager (buffered): the sender does not block; its
-// clock advances by the local share of the transfer.
+// clock advances by the local share of the transfer. The payload is
+// copied (into a pooled buffer), so the caller keeps ownership of data.
 func (c *Comm) Send(to, tag int, data []float64) {
+	buf := c.w.allocPayload(len(data))
+	copy(buf, data)
+	c.SendOwned(to, tag, buf)
+}
+
+// SendOwned is Send without the defensive payload copy: ownership of
+// data passes to the runtime and then to the receiver, which gets the
+// very same slice from Recv. Use it with buffers from AllocPayload (and
+// FreePayload on the receive side) to make steady-state traffic
+// allocation-free; after the call the sender must not touch data again.
+func (c *Comm) SendOwned(to, tag int, data []float64) {
 	p := c.proc
 	dst := c.ranks[to]
 	bytes := 8 * len(data)
@@ -308,7 +389,7 @@ func (c *Comm) Send(to, tag int, data []float64) {
 	msg.src = p.rank
 	msg.tag = tag
 	msg.comm = c.id
-	msg.data = append([]float64(nil), data...)
+	msg.data = data
 	msg.arrival = p.clock + t
 	if p.cur != nil {
 		p.cur.Transfer += t
@@ -318,11 +399,26 @@ func (c *Comm) Send(to, tag int, data []float64) {
 	w := c.w
 	w.mu.Lock()
 	key := matchKey{src: p.rank, tag: tag, comm: c.id}
-	w.boxes[dst][key] = append(w.boxes[dst][key], msg)
+	q, ok := w.boxes[dst][key]
+	if !ok {
+		q = &msgq{}
+		w.boxes[dst][key] = q
+	}
+	q.q = append(q.q, msg)
 	w.queued++
 	w.conds[dst].Signal() // wake only the receiver, not the whole world
 	w.mu.Unlock()
 }
+
+// AllocPayload returns a length-n scratch slice from the world's
+// payload pool, for building a message passed to SendOwned. Contents
+// are unspecified.
+func (c *Comm) AllocPayload(n int) []float64 { return c.w.allocPayload(n) }
+
+// FreePayload recycles a payload (typically one returned by Recv) into
+// the world pool. The caller must be done with it, and must not free
+// the same slice twice.
+func (c *Comm) FreePayload(b []float64) { c.w.freePayload(b) }
 
 // Recv blocks until a message with the given source (local rank) and
 // tag arrives, advances the virtual clock to the arrival time, and
@@ -335,12 +431,13 @@ func (c *Comm) Recv(from, tag int) ([]float64, error) {
 	w.mu.Lock()
 	w.blocked++
 	for {
-		if q := w.boxes[p.rank][key]; len(q) > 0 {
-			msg := q[0]
-			if len(q) == 1 {
-				delete(w.boxes[p.rank], key)
-			} else {
-				w.boxes[p.rank][key] = q[1:]
+		if q, ok := w.boxes[p.rank][key]; ok && q.head < len(q.q) {
+			msg := q.q[q.head]
+			q.q[q.head] = nil
+			q.head++
+			if q.head == len(q.q) {
+				q.q = q.q[:0]
+				q.head = 0
 			}
 			w.queued--
 			w.blocked--
@@ -429,9 +526,29 @@ const (
 
 // Barrier synchronizes the communicator: all clocks advance to the
 // latest participant (plus transfer costs of the gather/release tree).
+// Barrier messages carry no data, so every payload cycles through the
+// world pool and a steady-state Barrier performs no allocations.
 func (c *Comm) Barrier() error {
-	_, err := c.gatherScatter(tagBarrier, nil, nil)
-	return err
+	if c.me == 0 {
+		for r := 1; r < c.Size(); r++ {
+			d, err := c.Recv(r, tagBarrier)
+			if err != nil {
+				return err
+			}
+			c.w.freePayload(d)
+		}
+		for r := 1; r < c.Size(); r++ {
+			c.SendOwned(r, tagBarrier, c.w.allocPayload(0))
+		}
+		return nil
+	}
+	c.SendOwned(0, tagBarrier, c.w.allocPayload(0))
+	d, err := c.Recv(0, tagBarrier)
+	if err != nil {
+		return err
+	}
+	c.w.freePayload(d)
+	return nil
 }
 
 // gatherScatter funnels per-rank payloads to local root 0, applies
@@ -509,7 +626,9 @@ func (c *Comm) Bcast(root int, data []float64) ([]float64, error) {
 }
 
 // Gather collects every rank's payload at root (local rank 0 receives
-// a concatenated [rank-ordered] slice; others receive nil).
+// a per-rank slice-of-slices; others receive nil). Ownership of payload
+// passes to the collective: the root may FreePayload each returned
+// slice once done, completing the pool round trip.
 func (c *Comm) Gather(payload []float64) ([][]float64, error) {
 	if c.me == 0 {
 		all := make([][]float64, c.Size())
@@ -523,7 +642,7 @@ func (c *Comm) Gather(payload []float64) ([][]float64, error) {
 		}
 		return all, nil
 	}
-	c.Send(0, tagGather, payload)
+	c.SendOwned(0, tagGather, payload)
 	return nil, nil
 }
 

@@ -111,7 +111,40 @@ type Tile struct {
 	// Double-buffered fields, (W+2)*(H+2) with halo.
 	h, hu, hv    []float64
 	nh, nhu, nhv []float64
+
+	// Rolling per-row flux scratch for the flux-once kernel (DESIGN §9):
+	// lines for rows y-1, y and y+1 of the sweep. Each cell's six flux
+	// components are computed exactly once per step instead of four
+	// times, with bit-identical results (same expressions, same inputs).
+	flm, flc, flp *fluxLine
 }
+
+// fluxLine holds the six flux components of one halo-extended row
+// (x = -1 .. W), indexed by x+1: F = (fh, fhu, fhv) is the x-direction
+// flux, G = (gh, ghu, ghv) the y-direction flux.
+type fluxLine struct {
+	fh, fhu, fhv []float64
+	gh, ghu, ghv []float64
+}
+
+// newFluxLine allocates a flux line for n cells in one backing slab.
+func newFluxLine(n int) *fluxLine {
+	b := make([]float64, 6*n)
+	return &fluxLine{
+		fh: b[0:n], fhu: b[n : 2*n], fhv: b[2*n : 3*n],
+		gh: b[3*n : 4*n], ghu: b[4*n : 5*n], ghv: b[5*n : 6*n],
+	}
+}
+
+// reference selects the retained pre-PR5 slow paths (closure-based
+// kernel, per-message allocating halo exchange) used as the
+// bit-identity oracle for the fast paths. Only tests toggle this; it
+// must not be flipped while tiles are stepping.
+var reference bool
+
+// SetReference enables (true) or disables (false) the retained
+// reference implementations of Step and Exchange.
+func SetReference(on bool) { reference = on }
 
 // Errors returned by the tile operations.
 var (
@@ -129,6 +162,7 @@ func NewTile(gnx, gny, x0, y0, w, h int, p Params) (*Tile, error) {
 		GNX: gnx, GNY: gny, X0: x0, Y0: y0, W: w, H: h, P: p,
 		h: make([]float64, n), hu: make([]float64, n), hv: make([]float64, n),
 		nh: make([]float64, n), nhu: make([]float64, n), nhv: make([]float64, n),
+		flm: newFluxLine(w + 2), flc: newFluxLine(w + 2), flp: newFluxLine(w + 2),
 	}, nil
 }
 
@@ -220,6 +254,95 @@ func (t *Tile) Step() {
 		t.stepRichtmyer()
 		return
 	}
+	if reference {
+		t.stepLFReference()
+		return
+	}
+	t.stepLF()
+}
+
+// fillFluxLine evaluates the six flux components of every cell of the
+// halo-extended row y into ln. The expressions are exactly those of the
+// reference kernel's flux closure, so the stored values are bit-for-bit
+// the values the reference recomputes at each of a cell's four uses.
+func (t *Tile) fillFluxLine(y int, ln *fluxLine) {
+	g := t.P.G
+	base := (y + 1) * (t.W + 2) // == t.idx(-1, y)
+	for j := 0; j <= t.W+1; j++ {
+		i := base + j
+		h := t.h[i]
+		if h <= 0 {
+			ln.fh[j], ln.fhu[j], ln.fhv[j] = 0, 0, 0
+			ln.gh[j], ln.ghu[j], ln.ghv[j] = 0, 0, 0
+			continue
+		}
+		hu, hv := t.hu[i], t.hv[i]
+		u, v := hu/h, hv/h
+		p := 0.5 * g * h * h
+		ln.fh[j], ln.fhu[j], ln.fhv[j] = hu, hu*u+p, hu*v
+		ln.gh[j], ln.ghu[j], ln.ghv[j] = hv, hv*u, hv*v+p
+	}
+}
+
+// stepLF is the flux-once Lax-Friedrichs kernel: a rolling window of
+// three per-row flux lines replaces the reference kernel's four flux
+// recomputations per cell. Output is bit-identical to stepLFReference
+// by construction — the guard tests in fast_test.go enforce MaxDiff==0.
+func (t *Tile) stepLF() {
+	lx := t.P.Dt / (2 * t.P.Dx)
+	fcor := t.P.F * t.P.Dt
+	drag := t.P.Drag * t.P.Dt
+	stride := t.W + 2
+	lm, lc, lp := t.flm, t.flc, t.flp
+	t.fillFluxLine(-1, lm)
+	t.fillFluxLine(0, lc)
+	t.fillFluxLine(1, lp)
+	for y := 0; y < t.H; y++ {
+		row := (y + 1) * stride
+		for x := 0; x < t.W; x++ {
+			c := row + x + 1
+			e, w := c+1, c-1
+			n, s := c+stride, c-stride
+			j := x + 1
+
+			feh, fehu, fehv := lc.fh[j+1], lc.fhu[j+1], lc.fhv[j+1]
+			fwh, fwhu, fwhv := lc.fh[j-1], lc.fhu[j-1], lc.fhv[j-1]
+			gnh, gnhu, gnhv := lp.gh[j], lp.ghu[j], lp.ghv[j]
+			gsh, gshu, gshv := lm.gh[j], lm.ghu[j], lm.ghv[j]
+
+			nh := 0.25*(t.h[e]+t.h[w]+t.h[n]+t.h[s]) - lx*((feh-fwh)+(gnh-gsh))
+			nhu := 0.25*(t.hu[e]+t.hu[w]+t.hu[n]+t.hu[s]) - lx*((fehu-fwhu)+(gnhu-gshu))
+			nhv := 0.25*(t.hv[e]+t.hv[w]+t.hv[n]+t.hv[s]) - lx*((fehv-fwhv)+(gnhv-gshv))
+			if fcor != 0 {
+				// Coriolis source terms: du/dt = +f v, dv/dt = -f u, applied
+				// to the provisional momenta (point-local, so parallel runs
+				// stay bit-identical to serial).
+				nhu, nhv = nhu+fcor*nhv, nhv-fcor*nhu
+			}
+			if drag != 0 {
+				nhu -= drag * nhu
+				nhv -= drag * nhv
+			}
+			t.nh[c] = nh
+			t.nhu[c] = nhu
+			t.nhv[c] = nhv
+		}
+		if y+1 < t.H {
+			// Row y+2 <= H is always a valid halo-extended row.
+			lm, lc, lp = lc, lp, lm
+			t.fillFluxLine(y+2, lp)
+		}
+	}
+	t.h, t.nh = t.nh, t.h
+	t.hu, t.nhu = t.nhu, t.hu
+	t.hv, t.nhv = t.nhv, t.hv
+}
+
+// stepLFReference is the retained pre-PR5 Lax-Friedrichs kernel: a
+// 6-return flux closure evaluated at all four neighbours of every cell,
+// i.e. each cell's flux computed four times. It is the oracle the
+// flux-once kernel is tested against.
+func (t *Tile) stepLFReference() {
 	lx := t.P.Dt / (2 * t.P.Dx)
 	g := t.P.G
 	flux := func(i int) (fh, fhu, fhv, gh, ghu, ghv float64) {
@@ -248,9 +371,6 @@ func (t *Tile) Step() {
 			nhu := 0.25*(t.hu[e]+t.hu[w]+t.hu[n]+t.hu[s]) - lx*((fehu-fwhu)+(gnhu-gshu))
 			nhv := 0.25*(t.hv[e]+t.hv[w]+t.hv[n]+t.hv[s]) - lx*((fehv-fwhv)+(gnhv-gshv))
 			if fcor != 0 {
-				// Coriolis source terms: du/dt = +f v, dv/dt = -f u, applied
-				// to the provisional momenta (point-local, so parallel runs
-				// stay bit-identical to serial).
 				nhu, nhv = nhu+fcor*nhv, nhv-fcor*nhu
 			}
 			if drag != 0 {
@@ -276,11 +396,124 @@ const (
 	tagSouth
 )
 
+// dirTag maps a direction to its halo tag (indexed by vtopo.Direction).
+var dirTag = [4]int{
+	vtopo.West:  tagWest,
+	vtopo.East:  tagEast,
+	vtopo.South: tagSouth,
+	vtopo.North: tagNorth,
+}
+
+// edgeCells returns the number of boundary cells on the given edge.
+func (t *Tile) edgeCells(dir vtopo.Direction) int {
+	if dir == vtopo.West || dir == vtopo.East {
+		return t.H
+	}
+	return t.W
+}
+
+// packEdge writes the owned boundary row/column facing dir into buf
+// (3 values per cell).
+func (t *Tile) packEdge(dir vtopo.Direction, buf []float64) {
+	switch dir {
+	case vtopo.West:
+		for y := 0; y < t.H; y++ {
+			i := t.idx(0, y)
+			buf[3*y], buf[3*y+1], buf[3*y+2] = t.h[i], t.hu[i], t.hv[i]
+		}
+	case vtopo.East:
+		for y := 0; y < t.H; y++ {
+			i := t.idx(t.W-1, y)
+			buf[3*y], buf[3*y+1], buf[3*y+2] = t.h[i], t.hu[i], t.hv[i]
+		}
+	case vtopo.South:
+		for x := 0; x < t.W; x++ {
+			i := t.idx(x, 0)
+			buf[3*x], buf[3*x+1], buf[3*x+2] = t.h[i], t.hu[i], t.hv[i]
+		}
+	default: // North
+		for x := 0; x < t.W; x++ {
+			i := t.idx(x, t.H-1)
+			buf[3*x], buf[3*x+1], buf[3*x+2] = t.h[i], t.hu[i], t.hv[i]
+		}
+	}
+}
+
+// unpackEdge writes a neighbour's boundary data into the halo cells
+// facing dir.
+func (t *Tile) unpackEdge(dir vtopo.Direction, data []float64) {
+	switch dir {
+	case vtopo.West:
+		for y := 0; y < t.H; y++ {
+			i := t.idx(-1, y)
+			t.h[i], t.hu[i], t.hv[i] = data[3*y], data[3*y+1], data[3*y+2]
+		}
+	case vtopo.East:
+		for y := 0; y < t.H; y++ {
+			i := t.idx(t.W, y)
+			t.h[i], t.hu[i], t.hv[i] = data[3*y], data[3*y+1], data[3*y+2]
+		}
+	case vtopo.South:
+		for x := 0; x < t.W; x++ {
+			i := t.idx(x, -1)
+			t.h[i], t.hu[i], t.hv[i] = data[3*x], data[3*x+1], data[3*x+2]
+		}
+	default: // North
+		for x := 0; x < t.W; x++ {
+			i := t.idx(x, t.H)
+			t.h[i], t.hu[i], t.hv[i] = data[3*x], data[3*x+1], data[3*x+2]
+		}
+	}
+}
+
 // Exchange performs the 4-neighbour halo exchange over the
 // communicator, whose ranks form the given process grid (local rank i
 // at grid position (i%Px, i/Px)). Ranks on domain edges fill reflective
 // boundaries instead.
+//
+// The fast path is allocation-free in steady state: edges are packed
+// into pooled payloads sent with ownership transfer, and received
+// payloads are recycled after unpacking. Because sends are eager in
+// this runtime, posting all sends first and then receiving in fixed
+// direction order has exactly the virtual-time behavior of the retained
+// nonblocking reference path (total wait telescopes to the latest
+// arrival regardless of receive order).
 func (t *Tile) Exchange(c *mpi.Comm, grid vtopo.Grid) error {
+	if reference {
+		return t.exchangeReference(c, grid)
+	}
+	me := c.Rank()
+	for d := vtopo.West; d <= vtopo.North; d++ {
+		nb := grid.Neighbor(me, d)
+		if nb < 0 {
+			continue
+		}
+		buf := c.AllocPayload(3 * t.edgeCells(d))
+		t.packEdge(d, buf)
+		c.SendOwned(nb, dirTag[d], buf)
+	}
+	for d := vtopo.West; d <= vtopo.North; d++ {
+		nb := grid.Neighbor(me, d)
+		if nb < 0 {
+			continue
+		}
+		// The neighbour's message towards us carries the tag of the
+		// direction it sent (its d.Opposite() is our d).
+		data, err := c.Recv(nb, dirTag[d.Opposite()])
+		if err != nil {
+			return err
+		}
+		t.unpackEdge(d, data)
+		c.FreePayload(data)
+	}
+	t.SetReflective()
+	return nil
+}
+
+// exchangeReference is the retained pre-PR5 halo exchange: fresh pack
+// slices per direction per step, copying sends and nonblocking request
+// handles. It computes identical fields and virtual times to Exchange.
+func (t *Tile) exchangeReference(c *mpi.Comm, grid vtopo.Grid) error {
 	me := c.Rank()
 	pack := func(dir vtopo.Direction) []float64 {
 		var out []float64
@@ -415,15 +648,19 @@ func RunSerial(nx, ny, steps int, p Params, init InitFunc) (*State, error) {
 }
 
 // Gather assembles the full state from every rank's tile at local rank
-// 0 of the communicator; other ranks receive nil.
+// 0 of the communicator; other ranks receive nil. Payloads travel as
+// pooled owned buffers and are recycled at the root after decoding.
 func Gather(c *mpi.Comm, t *Tile) (*State, error) {
 	// Payload: x0, y0, w, h, then fields.
-	payload := make([]float64, 0, 4+3*t.W*t.H)
-	payload = append(payload, float64(t.X0), float64(t.Y0), float64(t.W), float64(t.H))
+	payload := c.AllocPayload(4 + 3*t.W*t.H)
+	payload[0], payload[1] = float64(t.X0), float64(t.Y0)
+	payload[2], payload[3] = float64(t.W), float64(t.H)
+	k := 4
 	for y := 0; y < t.H; y++ {
 		for x := 0; x < t.W; x++ {
 			i := t.idx(x, y)
-			payload = append(payload, t.h[i], t.hu[i], t.hv[i])
+			payload[k], payload[k+1], payload[k+2] = t.h[i], t.hu[i], t.hv[i]
+			k += 3
 		}
 	}
 	all, err := c.Gather(payload)
@@ -448,6 +685,7 @@ func Gather(c *mpi.Comm, t *Tile) (*State, error) {
 				k += 3
 			}
 		}
+		c.FreePayload(d)
 	}
 	return out, nil
 }

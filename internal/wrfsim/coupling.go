@@ -53,6 +53,17 @@ func ownerIdx(n, parts, g int) int {
 	return rem + (g-bound)/base
 }
 
+// reference selects the retained slow coupling paths: patterns and
+// plans recomputed from scratch at every coupling step with fresh
+// allocations and copying sends, exactly as before the PR5 plan cache.
+// The fast and reference paths are bit-identical by construction and
+// guarded by equivalence tests. Only tests toggle this.
+var reference bool
+
+// SetReference enables (true) or disables (false) the retained
+// recompute-every-step coupling implementations.
+func SetReference(on bool) { reference = on }
+
 // bcTransfer is one (src, dst) message of the boundary-condition
 // exchange: parent cells read at src, halo cells written at dst.
 type bcTransfer struct {
@@ -75,8 +86,10 @@ func haloRing(c *nest.Domain) [][2]int {
 
 // bcPattern computes the full deterministic BC exchange pattern of one
 // nest: which world rank sends which parent cells to which world rank.
-func bcPattern(cfg *nest.Domain, grid vtopo.Grid, nc *nestCtx) []*bcTransfer {
-	c := nc.d
+// It depends only on the domain geometry and process grids, so Run
+// builds it once and shares it read-only across ranks; the reference
+// path recomputes it every step.
+func bcPattern(cfg *nest.Domain, grid vtopo.Grid, c *nest.Domain, cgrid vtopo.Grid, cworld []int) []*bcTransfer {
 	byPair := map[[2]int]*bcTransfer{}
 	var order [][2]int
 	for _, hc := range haloRing(c) {
@@ -84,8 +97,8 @@ func bcPattern(cfg *nest.Domain, grid vtopo.Grid, nc *nestCtx) []*bcTransfer {
 		// Owning child rank: the tile adjacent to the halo cell.
 		ox := clampInt(hx, 0, c.NX-1)
 		oy := clampInt(hy, 0, c.NY-1)
-		childLocal := ownerOf(c.NX, c.NY, nc.grid, ox, oy)
-		dst := nc.world[childLocal]
+		childLocal := ownerOf(c.NX, c.NY, cgrid, ox, oy)
+		dst := cworld[childLocal]
 		// Parent cell supplying the value.
 		pgx := clampInt(c.OffX+floorDiv(hx, c.Ratio), 0, cfg.NX-1)
 		pgy := clampInt(c.OffY+floorDiv(hy, c.Ratio), 0, cfg.NY-1)
@@ -116,9 +129,18 @@ func bcPattern(cfg *nest.Domain, grid vtopo.Grid, nc *nestCtx) []*bcTransfer {
 // exchangeBC moves parent boundary values to the nest's halo owners and
 // stores them in nc.bc (cleared first). Every rank participates as a
 // potential sender; only nest members receive.
-func exchangeBC(p *mpi.Proc, world *mpi.Comm, grid vtopo.Grid, parent *solver.Tile, nc *nestCtx, cfg *nest.Domain) error {
+//
+// The fast path walks the plan cached on the nest context (built once
+// in Run) and moves payloads through the pooled owned-send path, so a
+// steady-state coupling step performs no allocations; the reference
+// path recomputes the pattern and allocates fresh payloads every call,
+// as the code did before the plan cache existed.
+func exchangeBC(world *mpi.Comm, grid vtopo.Grid, parent *solver.Tile, nc *nestCtx, cfg *nest.Domain) error {
+	pattern, pooled := nc.bcPlan, true
+	if reference {
+		pattern, pooled = bcPattern(cfg, grid, nc.d, nc.grid, nc.world), false
+	}
 	me := world.Rank()
-	pattern := bcPattern(cfg, grid, nc)
 	tag := tagBC + nc.idx
 
 	if nc.tile != nil {
@@ -127,16 +149,29 @@ func exchangeBC(p *mpi.Proc, world *mpi.Comm, grid vtopo.Grid, parent *solver.Ti
 
 	// Post sends (and handle self-transfers locally).
 	for _, tr := range pattern {
-		if tr.src == me {
-			data := make([]float64, 0, 3*len(tr.pcells))
-			for _, pc := range tr.pcells {
-				h, hu, hv := parent.Cell(pc[0]-parent.X0, pc[1]-parent.Y0)
-				data = append(data, h, hu, hv)
+		if tr.src != me {
+			continue
+		}
+		n := 3 * len(tr.pcells)
+		var data []float64
+		if pooled {
+			data = world.AllocPayload(n)
+		} else {
+			data = make([]float64, n)
+		}
+		for i, pc := range tr.pcells {
+			data[3*i], data[3*i+1], data[3*i+2] = parent.Cell(pc[0]-parent.X0, pc[1]-parent.Y0)
+		}
+		if tr.dst == me {
+			storeBC(nc, tr, data)
+			if pooled {
+				world.FreePayload(data)
 			}
-			if tr.dst == me {
-				storeBC(nc, tr, data)
-				continue
-			}
+			continue
+		}
+		if pooled {
+			world.SendOwned(tr.dst, tag, data)
+		} else {
 			world.Send(tr.dst, tag, data)
 		}
 	}
@@ -153,6 +188,9 @@ func exchangeBC(p *mpi.Proc, world *mpi.Comm, grid vtopo.Grid, parent *solver.Ti
 			return fmt.Errorf("wrfsim: BC payload %d for %d cells", len(data), len(tr.pcells))
 		}
 		storeBC(nc, tr, data)
+		if pooled {
+			world.FreePayload(data)
+		}
 	}
 	return nil
 }
@@ -172,31 +210,73 @@ func storeBC(nc *nestCtx, tr *bcTransfer, data []float64) {
 	}
 }
 
-// fbEntry is one parent cell's partial feedback from one child rank:
-// the intersection of the child-cell block with that rank's tile.
+// fbEntry is one parent cell's feedback contribution from one child
+// rank: the intersection of the child-cell block with that rank's tile.
+// The message carries the raw child cells of the rectangle (row-major,
+// 3 values per cell) rather than a partial sum, so the parent owner can
+// accumulate every block in one canonical order — the property that
+// makes feedback, and therefore the whole functional run, bit-identical
+// across process decompositions.
 type fbEntry struct {
 	pcell  [2]int // parent global cell
 	x0, y0 int    // child-global intersection origin
 	w, h   int
+	off    int // float offset of this entry's cells in the transfer payload
 }
 
 // fbTransfer is one (src, dst) message of the feedback exchange.
 type fbTransfer struct {
 	src, dst int
 	entries  []fbEntry
+	floats   int // payload length: 3 * total cells
+	idx      int // slot in fbPlan.transfers and the payload stash
 }
 
-// fbPattern computes the deterministic feedback pattern of one nest.
-func fbPattern(cfg *nest.Domain, grid vtopo.Grid, nc *nestCtx) []*fbTransfer {
-	c := nc.d
+// fbCellRef locates one child cell's (h, hu, hv) triple inside the
+// step's received payloads: transfer slot and float offset.
+type fbCellRef struct {
+	tr  int32
+	off int32
+}
+
+// fbOwnedCell is the accumulation recipe for one parent cell owned by
+// this rank: its child-block cells in canonical (child-global
+// row-major) order, pre-resolved to payload positions.
+type fbOwnedCell struct {
+	lx, ly int     // parent-local coordinates
+	n      float64 // block cell count (the averaging denominator)
+	srcs   []fbCellRef
+}
+
+// fbPlan is the complete precomputed feedback exchange of one nest:
+// the deterministic transfer pattern plus every rank's canonical
+// accumulation recipe. It depends only on the domain geometry and
+// process grids, so Run builds it once and shares it read-only across
+// ranks (per-step payload stashes live on the rank's nestCtx); the
+// reference path rebuilds it every step.
+type fbPlan struct {
+	transfers   []*fbTransfer
+	ownedByRank [][]fbOwnedCell // indexed by parent world rank
+}
+
+// buildFBPlan computes the feedback plan of one nest.
+func buildFBPlan(cfg *nest.Domain, grid vtopo.Grid, c *nest.Domain, cgrid vtopo.Grid, cworld []int) *fbPlan {
 	byPair := map[[2]int]*fbTransfer{}
 	var order [][2]int
 	// Child tile rectangles by nest-local rank.
-	tiles := make([][4]int, nc.grid.Size())
+	tiles := make([][4]int, cgrid.Size())
 	for r := range tiles {
-		x0, y0, w, h := solver.Decompose(c.NX, c.NY, nc.grid, r)
+		x0, y0, w, h := solver.Decompose(c.NX, c.NY, cgrid, r)
 		tiles[r] = [4]int{x0, y0, w, h}
 	}
+	// entryRef remembers where the entry of (parent cell, child world
+	// rank) landed, for resolving the accumulation recipe below.
+	type entryKey struct{ px, py, src int }
+	type entryLoc struct {
+		pair [2]int
+		ei   int
+	}
+	entryRef := map[entryKey]entryLoc{}
 	for py := c.OffY; py < c.OffY+c.FootprintY(); py++ {
 		for px := c.OffX; px < c.OffX+c.FootprintX(); px++ {
 			dst := ownerOf(cfg.NX, cfg.NY, grid, px, py)
@@ -213,7 +293,7 @@ func fbPattern(cfg *nest.Domain, grid vtopo.Grid, nc *nestCtx) []*fbTransfer {
 				if ix0 >= ix1 || iy0 >= iy1 {
 					continue
 				}
-				src := nc.world[r]
+				src := cworld[r]
 				key := [2]int{src, dst}
 				tr, ok := byPair[key]
 				if !ok {
@@ -221,6 +301,7 @@ func fbPattern(cfg *nest.Domain, grid vtopo.Grid, nc *nestCtx) []*fbTransfer {
 					byPair[key] = tr
 					order = append(order, key)
 				}
+				entryRef[entryKey{px, py, src}] = entryLoc{pair: key, ei: len(tr.entries)}
 				tr.entries = append(tr.entries, fbEntry{
 					pcell: [2]int{px, py},
 					x0:    ix0, y0: iy0, w: ix1 - ix0, h: iy1 - iy0,
@@ -234,65 +315,110 @@ func fbPattern(cfg *nest.Domain, grid vtopo.Grid, nc *nestCtx) []*fbTransfer {
 		}
 		return order[i][1] < order[j][1]
 	})
-	out := make([]*fbTransfer, len(order))
+	plan := &fbPlan{transfers: make([]*fbTransfer, len(order))}
 	for i, k := range order {
-		out[i] = byPair[k]
+		tr := byPair[k]
+		tr.idx = i
+		off := 0
+		for ei := range tr.entries {
+			tr.entries[ei].off = off
+			off += 3 * tr.entries[ei].w * tr.entries[ei].h
+		}
+		tr.floats = off
+		plan.transfers[i] = tr
 	}
-	return out
+
+	// Accumulation recipe per owning parent rank: each block's cells in
+	// child-global row-major order, regardless of how the nest is
+	// decomposed. One pass over the footprint fills every rank's list.
+	plan.ownedByRank = make([][]fbOwnedCell, grid.Size())
+	origins := make([][2]int, grid.Size())
+	for r := range origins {
+		x0, y0, _, _ := solver.Decompose(cfg.NX, cfg.NY, grid, r)
+		origins[r] = [2]int{x0, y0}
+	}
+	for py := c.OffY; py < c.OffY+c.FootprintY(); py++ {
+		for px := c.OffX; px < c.OffX+c.FootprintX(); px++ {
+			owner := ownerOf(cfg.NX, cfg.NY, grid, px, py)
+			bx0 := (px - c.OffX) * c.Ratio
+			by0 := (py - c.OffY) * c.Ratio
+			bx1 := min(bx0+c.Ratio, c.NX)
+			by1 := min(by0+c.Ratio, c.NY)
+			srcs := make([]fbCellRef, 0, (bx1-bx0)*(by1-by0))
+			for cy := by0; cy < by1; cy++ {
+				for cx := bx0; cx < bx1; cx++ {
+					src := cworld[ownerOf(c.NX, c.NY, cgrid, cx, cy)]
+					loc := entryRef[entryKey{px, py, src}]
+					tr := byPair[loc.pair]
+					e := &tr.entries[loc.ei]
+					off := e.off + 3*((cy-e.y0)*e.w+(cx-e.x0))
+					srcs = append(srcs, fbCellRef{tr: int32(tr.idx), off: int32(off)})
+				}
+			}
+			plan.ownedByRank[owner] = append(plan.ownedByRank[owner], fbOwnedCell{
+				lx: px - origins[owner][0], ly: py - origins[owner][1],
+				n:    float64((bx1 - bx0) * (by1 - by0)),
+				srcs: srcs,
+			})
+		}
+	}
+	return plan
 }
 
 // exchangeFeedback averages each nest's solution back onto the parent
-// cells it overlaps: child owners send partial sums, parent owners
-// accumulate and normalize.
-func exchangeFeedback(p *mpi.Proc, world *mpi.Comm, grid vtopo.Grid, parent *solver.Tile, nc *nestCtx, cfg *nest.Domain) error {
-	me := world.Rank()
-	pattern := fbPattern(cfg, grid, nc)
+// cells it overlaps: child owners send their cells of each block, and
+// the parent owner accumulates every block in canonical child-global
+// row-major order before normalizing. The fast path reuses the plan
+// cached on the nest context and pooled payload buffers; the reference
+// path rebuilds the plan and allocates afresh at every call.
+func exchangeFeedback(world *mpi.Comm, grid vtopo.Grid, parent *solver.Tile, nc *nestCtx, cfg *nest.Domain) error {
 	tag := tagFeedback + nc.idx
-
-	// acc accumulates (sumH, sumHU, sumHV, count) per parent cell.
-	type acc struct {
-		h, hu, hv float64
-		n         float64
+	if reference {
+		plan := buildFBPlan(cfg, grid, nc.d, nc.grid, nc.world)
+		payloads := make([][]float64, len(plan.transfers))
+		return runFeedback(world, parent, nc, plan, payloads, tag, false)
 	}
-	sums := map[[2]int]*acc{}
+	return runFeedback(world, parent, nc, nc.fbPlan, nc.fbPayloads, tag, true)
+}
 
-	apply := func(tr *fbTransfer, data []float64) {
-		for i, e := range tr.entries {
-			a, ok := sums[e.pcell]
-			if !ok {
-				a = &acc{}
-				sums[e.pcell] = a
-			}
-			a.h += data[4*i]
-			a.hu += data[4*i+1]
-			a.hv += data[4*i+2]
-			a.n += data[4*i+3]
+// runFeedback executes one feedback exchange according to plan, using
+// payloads as the per-transfer stash of this step's received buffers.
+func runFeedback(world *mpi.Comm, parent *solver.Tile, nc *nestCtx, plan *fbPlan, payloads [][]float64, tag int, pooled bool) error {
+	me := world.Rank()
+	t := nc.tile
+
+	// Sends (self-transfers stash their payload directly).
+	for _, tr := range plan.transfers {
+		if tr.src != me {
+			continue
 		}
-	}
-
-	for _, tr := range pattern {
-		if tr.src == me {
-			data := make([]float64, 0, 4*len(tr.entries))
-			for _, e := range tr.entries {
-				var sh, shu, shv float64
-				for y := e.y0; y < e.y0+e.h; y++ {
-					for x := e.x0; x < e.x0+e.w; x++ {
-						h, hu, hv := nc.tile.Cell(x-nc.tile.X0, y-nc.tile.Y0)
-						sh += h
-						shu += hu
-						shv += hv
-					}
+		var buf []float64
+		if pooled {
+			buf = world.AllocPayload(tr.floats)
+		} else {
+			buf = make([]float64, tr.floats)
+		}
+		k := 0
+		for _, e := range tr.entries {
+			for y := e.y0; y < e.y0+e.h; y++ {
+				for x := e.x0; x < e.x0+e.w; x++ {
+					buf[k], buf[k+1], buf[k+2] = t.Cell(x-t.X0, y-t.Y0)
+					k += 3
 				}
-				data = append(data, sh, shu, shv, float64(e.w*e.h))
 			}
-			if tr.dst == me {
-				apply(tr, data)
-				continue
-			}
-			world.Send(tr.dst, tag, data)
+		}
+		if tr.dst == me {
+			payloads[tr.idx] = buf
+			continue
+		}
+		if pooled {
+			world.SendOwned(tr.dst, tag, buf)
+		} else {
+			world.Send(tr.dst, tag, buf)
 		}
 	}
-	for _, tr := range pattern {
+	// Receive in deterministic pattern order.
+	for _, tr := range plan.transfers {
 		if tr.dst != me || tr.src == me {
 			continue
 		}
@@ -300,18 +426,35 @@ func exchangeFeedback(p *mpi.Proc, world *mpi.Comm, grid vtopo.Grid, parent *sol
 		if err != nil {
 			return err
 		}
-		if len(data) != 4*len(tr.entries) {
-			return fmt.Errorf("wrfsim: feedback payload %d for %d entries", len(data), len(tr.entries))
+		if len(data) != tr.floats {
+			return fmt.Errorf("wrfsim: feedback payload %d floats, want %d", len(data), tr.floats)
 		}
-		apply(tr, data)
+		payloads[tr.idx] = data
 	}
 
-	// Write the averaged values into the owned parent cells.
-	for pc, a := range sums {
-		if a.n == 0 {
+	// Canonical accumulation into the owned parent cells.
+	owned := plan.ownedByRank[me]
+	for i := range owned {
+		oc := &owned[i]
+		var h, hu, hv float64
+		for _, ref := range oc.srcs {
+			p := payloads[ref.tr]
+			h += p[ref.off]
+			hu += p[ref.off+1]
+			hv += p[ref.off+2]
+		}
+		parent.SetHaloCell(oc.lx, oc.ly, h/oc.n, hu/oc.n, hv/oc.n)
+	}
+
+	// Recycle the step's payloads.
+	for i, b := range payloads {
+		if b == nil {
 			continue
 		}
-		parent.SetHaloCell(pc[0]-parent.X0, pc[1]-parent.Y0, a.h/a.n, a.hu/a.n, a.hv/a.n)
+		if pooled {
+			world.FreePayload(b)
+		}
+		payloads[i] = nil
 	}
 	return nil
 }

@@ -71,7 +71,7 @@ func TestConcurrentIOFasterFunctionally(t *testing.T) {
 		if a.Domain != b.Domain || a.Step != b.Step {
 			t.Fatalf("snapshot %d metadata differs: %v vs %v", i, a, b)
 		}
-		if d := a.State.MaxDiff(b.State); d > 1e-9 {
+		if d := a.State.MaxDiff(b.State); d != 0 {
 			t.Errorf("snapshot %d (%s step %d) differs by %v", i, a.Domain, a.Step, d)
 		}
 	}

@@ -145,9 +145,36 @@ func Run(cfg *nest.Domain, opt Options) (*Output, error) {
 		}
 	}
 
+	// Coupling plans and nest process grids depend only on the domain
+	// geometry and the decomposition, so they are built once here and
+	// shared read-only by every rank — the reference path recomputes
+	// them at every coupling step instead.
+	plans := make([]*nestPlans, len(cfg.Children))
+	for i, c := range cfg.Children {
+		np := &nestPlans{phase: "nest:" + c.Name}
+		switch opt.Strategy {
+		case Sequential:
+			np.grid = grid
+			np.world = make([]int, grid.Size())
+			for r := range np.world {
+				np.world[r] = r
+			}
+		case Concurrent:
+			sg, err := vtopo.NewSubgrid(grid, rects[i])
+			if err != nil {
+				return nil, err
+			}
+			np.grid = sg.Grid()
+			np.world = sg.Ranks()
+		}
+		np.bc = bcPattern(cfg, grid, c, np.grid, np.world)
+		np.fb = buildFBPlan(cfg, grid, c, np.grid, np.world)
+		plans[i] = np
+	}
+
 	out := &Output{Nests: make([]*solver.State, len(cfg.Children))}
 	procs, err := mpi.Run(opt.Ranks, opt.TM, func(p *mpi.Proc) error {
-		return rankMain(p, cfg, grid, rects, opt, out)
+		return rankMain(p, cfg, grid, plans, opt, out)
 	})
 	if err != nil {
 		return nil, err
@@ -168,6 +195,17 @@ func Run(cfg *nest.Domain, opt Options) (*Output, error) {
 	return out, nil
 }
 
+// nestPlans is the shared precomputed per-nest state: the nest's
+// process grid and the coupling plans, identical on every rank and
+// read-only during the run.
+type nestPlans struct {
+	grid  vtopo.Grid // the nest's process grid
+	world []int      // world rank of each nest-local rank
+	phase string     // phase label ("nest:" + name)
+	bc    []*bcTransfer
+	fb    *fbPlan
+}
+
 // nestCtx holds one rank's view of one nested domain.
 type nestCtx struct {
 	d     *nest.Domain
@@ -177,6 +215,13 @@ type nestCtx struct {
 	world []int        // world rank of each nest-local rank
 	tile  *solver.Tile // nil if not a member
 	bc    []bcCell     // parent-interpolated boundary values (members only)
+	phase string       // precomputed phase label ("nest:" + name)
+
+	// Coupling plans shared across ranks (see nestPlans), plus this
+	// rank's per-step feedback payload stash.
+	bcPlan     []*bcTransfer
+	fbPlan     *fbPlan
+	fbPayloads [][]float64
 }
 
 // bcCell is one child halo cell awaiting a parent value.
@@ -185,40 +230,46 @@ type bcCell struct {
 	h, hu, hv float64
 }
 
-func rankMain(p *mpi.Proc, cfg *nest.Domain, grid vtopo.Grid, rects []alloc.Rect, opt Options, out *Output) error {
+func rankMain(p *mpi.Proc, cfg *nest.Domain, grid vtopo.Grid, plans []*nestPlans, opt Options, out *Output) error {
 	world := p.World()
 	me := world.Rank()
 	p.BeginPhase("init")
 
 	// Parent tile on the full grid.
+	pinit := solver.GaussianHill(cfg.NX, cfg.NY, float64(cfg.NX)/2, float64(cfg.NY)/2, 0.4, float64(cfg.NX)/8)
 	px0, py0, pw, ph := solver.Decompose(cfg.NX, cfg.NY, grid, me)
 	parent, err := solver.NewTile(cfg.NX, cfg.NY, px0, py0, pw, ph, opt.Params)
 	if err != nil {
 		return err
 	}
-	parent.Fill(solver.GaussianHill(cfg.NX, cfg.NY, float64(cfg.NX)/2, float64(cfg.NY)/2, 0.4, float64(cfg.NX)/8))
+	parent.Fill(pinit)
 
-	// Build per-nest contexts.
+	// Build per-nest contexts from the shared plans (every rank holds
+	// one per nest, members or not: non-members still source boundary
+	// conditions from their parent cells and sink feedback into them).
 	nests := make([]*nestCtx, len(cfg.Children))
 	for i, c := range cfg.Children {
-		nc := &nestCtx{d: c, idx: i}
+		np := plans[i]
+		nc := &nestCtx{
+			d: c, idx: i,
+			grid: np.grid, world: np.world, phase: np.phase,
+			bcPlan: np.bc, fbPlan: np.fb,
+			fbPayloads: make([][]float64, len(np.fb.transfers)),
+		}
+		// Local rank within the nest, if a member.
+		local := -1
+		for l, w := range nc.world {
+			if w == me {
+				local = l
+				break
+			}
+		}
 		switch opt.Strategy {
 		case Sequential:
-			nc.grid = grid
-			nc.world = make([]int, grid.Size())
-			for r := range nc.world {
-				nc.world[r] = r
-			}
 			nc.comm = world
 		case Concurrent:
-			sg, err := vtopo.NewSubgrid(grid, rects[i])
-			if err != nil {
-				return err
-			}
-			nc.grid = sg.Grid()
-			nc.world = sg.Ranks()
 			color := -1
-			if sg.LocalRank(me) >= 0 {
+			if local >= 0 {
 				color = i
 			}
 			sub, err := world.Split(color, me)
@@ -233,13 +284,6 @@ func rankMain(p *mpi.Proc, cfg *nest.Domain, grid vtopo.Grid, rects []alloc.Rect
 			nc.comm = sub
 		}
 		// Member: build the nest tile.
-		local := -1
-		for l, w := range nc.world {
-			if w == me {
-				local = l
-				break
-			}
-		}
 		if local != nc.comm.Rank() {
 			return fmt.Errorf("wrfsim: local rank mismatch: %d vs %d", local, nc.comm.Rank())
 		}
@@ -253,9 +297,7 @@ func rankMain(p *mpi.Proc, cfg *nest.Domain, grid vtopo.Grid, rects []alloc.Rect
 		}
 		// The nest starts from the parent field sampled at its footprint.
 		tile.Fill(func(gx, gy int) (float64, float64, float64) {
-			pgx := c.OffX + gx/c.Ratio
-			pgy := c.OffY + gy/c.Ratio
-			return initialParentValue(cfg, pgx, pgy)
+			return pinit(c.OffX+gx/c.Ratio, c.OffY+gy/c.Ratio)
 		})
 		nc.tile = tile
 		nests[i] = nc
@@ -275,7 +317,7 @@ func rankMain(p *mpi.Proc, cfg *nest.Domain, grid vtopo.Grid, rects []alloc.Rect
 		// child-owner.
 		p.BeginPhase("coupling")
 		for _, nc := range nests {
-			if err := exchangeBC(p, world, grid, parent, nc, cfg); err != nil {
+			if err := exchangeBC(world, grid, parent, nc, cfg); err != nil {
 				return err
 			}
 		}
@@ -301,7 +343,7 @@ func rankMain(p *mpi.Proc, cfg *nest.Domain, grid vtopo.Grid, rects []alloc.Rect
 		// Feedback child -> parent.
 		p.BeginPhase("coupling")
 		for _, nc := range nests {
-			if err := exchangeFeedback(p, world, grid, parent, nc, cfg); err != nil {
+			if err := exchangeFeedback(world, grid, parent, nc, cfg); err != nil {
 				return err
 			}
 		}
@@ -333,7 +375,7 @@ func initialParentValue(cfg *nest.Domain, gx, gy int) (float64, float64, float64
 // nestSubsteps advances one nest Ratio sub-steps with its stored
 // boundary conditions applied after every halo exchange.
 func nestSubsteps(p *mpi.Proc, nc *nestCtx, opt Options) error {
-	p.BeginPhase("nest:" + nc.d.Name)
+	p.BeginPhase(nc.phase)
 	t := nc.tile
 	cells := float64(t.W * t.H)
 	for s := 0; s < nc.d.Ratio; s++ {

@@ -4,14 +4,15 @@
 # Usage:
 #   scripts/bench.sh [output.json] [bench-regex]
 #
-# Defaults snapshot the three headline benchmarks the perf PRs track
-# (per-iteration model, Table 1 wait-time sweep, full experiment suite)
-# at one iteration each with -benchmem, matching the committed
-# BENCH_<pr>.json files. Pass '.' as the regex for the full suite.
+# Defaults snapshot the headline benchmarks the perf PRs track
+# (per-iteration model, Table 1 wait-time sweep, full experiment suite,
+# functional mini-WRF run, modeled simulation sweep) at one iteration
+# each with -benchmem, matching the committed BENCH_<pr>.json files.
+# Pass '.' as the regex for the full suite.
 set -eu
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_snapshot.json}"
-BENCH="${2:-PerIteration85\$|Table1Wait\$|AllExperimentsSequential\$}"
+BENCH="${2:-PerIteration85\$|Table1Wait\$|AllExperimentsSequential\$|Functional\$|Simulate\$}"
 
 go run ./cmd/benchsnap -bench "$BENCH" -benchtime 1x -o "$OUT"
