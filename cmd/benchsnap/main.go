@@ -22,7 +22,6 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
-	"regexp"
 	"runtime"
 	"sort"
 	"strconv"
@@ -35,6 +34,10 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Metrics holds any further unit -> value columns: custom metrics
+	// reported with b.ReportMetric (e.g. sim-ms, qps) and throughput
+	// (MB/s).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Snapshot is the file format: benchmark name -> result, plus the
@@ -45,13 +48,6 @@ type Snapshot struct {
 	GoVersion string            `json:"go_version"`
 	Results   map[string]Result `json:"results"`
 }
-
-// benchLine matches the prefix of `go test -bench` output lines such as
-// "BenchmarkPerIteration85-8   1   166000000 ns/op   12345 B/op ...";
-// the measurement columns after the iteration count are value/unit
-// pairs parsed separately (custom metrics like sim-ms can appear
-// between ns/op and the -benchmem columns).
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)((?:\s+[\d.eE+-]+ \S+)+)$`)
 
 func main() {
 	var (
@@ -103,6 +99,71 @@ func runBench(pkg, bench, benchtime string) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// isNumber reports whether a token is a plain numeric value (the value
+// half of a benchmark measurement column).
+func isNumber(s string) bool {
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
+}
+
+// parseLine parses one `go test -bench` output line of the form
+//
+//	BenchmarkName-8   1   166000000 ns/op   4.2 sim-ms   12345 B/op   67 allocs/op
+//
+// into its benchmark name (GOMAXPROCS suffix stripped) and Result, or
+// ok=false for any non-benchmark line. Measurement columns are matched
+// by unit name, never by position: the known units fill the typed
+// fields wherever they appear, unknown units (custom b.ReportMetric
+// columns, MB/s) land in Metrics, and a stray token that is not part
+// of a value/unit pair resynchronizes the scan instead of shifting
+// every later column onto the wrong field. This keeps lines with
+// custom metrics but no -benchmem columns — and vice versa — correct.
+func parseLine(line string) (string, Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Result{}, false
+	}
+	name := fields[0]
+	// Strip the -N GOMAXPROCS suffix go test appends to the name.
+	if i := strings.LastIndexByte(name, '-'); i > 0 && isNumber(name[i+1:]) {
+		name = name[:i]
+	}
+	r := Result{Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); {
+		value, unit := fields[i], fields[i+1]
+		if !isNumber(value) || isNumber(unit) {
+			// Not a value/unit pair at this position; resynchronize on
+			// the next token rather than misattributing what follows.
+			i++
+			continue
+		}
+		switch unit {
+		case "ns/op":
+			r.NsPerOp, _ = strconv.ParseFloat(value, 64)
+		case "B/op":
+			r.BytesPerOp, _ = strconv.ParseInt(value, 10, 64)
+		case "allocs/op":
+			r.AllocsPerOp, _ = strconv.ParseInt(value, 10, 64)
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit], _ = strconv.ParseFloat(value, 64)
+		}
+		seen = true
+		i += 2
+	}
+	if !seen {
+		return "", Result{}, false
+	}
+	return name, r, true
+}
+
 // parse extracts benchmark lines from go test output into a Snapshot.
 func parse(raw []byte, pattern, benchtime string) (*Snapshot, error) {
 	snap := &Snapshot{
@@ -114,24 +175,9 @@ func parse(raw []byte, pattern, benchtime string) (*Snapshot, error) {
 	sc := bufio.NewScanner(bytes.NewReader(raw))
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
-		if m == nil {
-			continue
+		if name, r, ok := parseLine(sc.Text()); ok {
+			snap.Results[name] = r
 		}
-		iters, _ := strconv.ParseInt(m[2], 10, 64)
-		r := Result{Iterations: iters}
-		fields := strings.Fields(m[3])
-		for i := 0; i+1 < len(fields); i += 2 {
-			switch fields[i+1] {
-			case "ns/op":
-				r.NsPerOp, _ = strconv.ParseFloat(fields[i], 64)
-			case "B/op":
-				r.BytesPerOp, _ = strconv.ParseInt(fields[i], 10, 64)
-			case "allocs/op":
-				r.AllocsPerOp, _ = strconv.ParseInt(fields[i], 10, 64)
-			}
-		}
-		snap.Results[m[1]] = r
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

@@ -23,15 +23,15 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"nestwrf/internal/experiments"
+	"nestwrf/internal/planserve"
 )
 
 func main() {
@@ -45,13 +45,25 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
+	var stopDebug func() error
 	if *debugAddr != "" {
-		startDebugServer(*debugAddr)
+		stopDebug = startDebugServer(*debugAddr)
 	}
 
 	// The work runs inside realMain so the profile defers flush before
 	// os.Exit; os.Exit itself would skip them.
-	os.Exit(realMain(*list, *run, *all, *md, *parallel, *cpuProfile, *memProfile))
+	code := realMain(*list, *run, *all, *md, *parallel, *cpuProfile, *memProfile)
+	if stopDebug != nil {
+		// Shut the debug server down before exiting so a serve failure
+		// is reported rather than lost in an orphaned goroutine.
+		if err := stopDebug(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: debug server: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
 }
 
 func realMain(list bool, run string, all, md bool, parallel int, cpuProfile, memProfile string) int {
@@ -108,22 +120,20 @@ func realMain(list bool, run string, all, md bool, parallel int, cpuProfile, mem
 
 // startDebugServer serves the process's expvar and pprof endpoints in
 // the background so long experiment sweeps can be profiled live. The
-// handlers register on http.DefaultServeMux via their package imports;
-// a listen failure is fatal so a typoed address does not silently run
-// unprofiled.
-func startDebugServer(addr string) {
+// handlers register on http.DefaultServeMux via their package imports
+// (a nil handler serves that mux); a listen failure is fatal so a
+// typoed address does not silently run unprofiled. The returned stop
+// function shuts the server down gracefully and surfaces any serve
+// error.
+func startDebugServer(addr string) func() error {
 	expvar.NewString("nestwrf_component").Set("experiments")
-	ln, err := net.Listen("tcp", addr)
+	bound, stop, err := planserve.StartServer(addr, nil, 2*time.Second)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: debug server on %s: %v\n", addr, err)
 		os.Exit(2)
 	}
-	go func() {
-		if err := http.Serve(ln, nil); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: debug server: %v\n", err)
-		}
-	}()
-	fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof and /debug/vars\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof and /debug/vars\n", bound)
+	return stop
 }
 
 // selectExperiments resolves a comma-separated id list in the order

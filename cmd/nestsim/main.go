@@ -123,7 +123,7 @@ func main() {
 		OutputEverySteps: *ioEvery,
 	}
 	if *ioEvery > 0 {
-		opts.IOMode, err = nestwrf.ParseIOMode(strings.ToLower(*ioMode))
+		opts.IOMode, err = nestwrf.ParseIOMode(*ioMode)
 		if err != nil {
 			fatal(err)
 		}
@@ -308,31 +308,11 @@ func pickMachine(name string) (nestwrf.Machine, error) {
 }
 
 func pickMap(name string) (nestwrf.MapKind, error) {
-	switch strings.ToLower(name) {
-	case "oblivious", "sequential":
-		return nestwrf.MapOblivious, nil
-	case "txyz":
-		return nestwrf.MapTXYZ, nil
-	case "partition":
-		return nestwrf.MapPartition, nil
-	case "multilevel", "multi-level":
-		return nestwrf.MapMultiLevel, nil
-	}
-	return 0, fmt.Errorf("unknown mapping %q", name)
+	return nestwrf.ParseMapKind(name)
 }
 
 func pickAlloc(name string) (nestwrf.AllocPolicy, error) {
-	switch strings.ToLower(name) {
-	case "predicted":
-		return nestwrf.AllocPredicted, nil
-	case "points", "naive", "naive-points":
-		return nestwrf.AllocNaivePoints, nil
-	case "equal":
-		return nestwrf.AllocEqual, nil
-	case "strips-predicted", "strips":
-		return nestwrf.AllocStripsPredicted, nil
-	}
-	return 0, fmt.Errorf("unknown allocation policy %q", name)
+	return nestwrf.ParseAllocPolicy(name)
 }
 
 func fatal(err error) {

@@ -1,0 +1,195 @@
+// Command planserve runs the planning service: an HTTP/JSON server
+// answering plan and compare queries over a shared bounded plan cache
+// with singleflight deduplication and a worker pool for cache-miss
+// planning.
+//
+// Usage:
+//
+//	planserve -addr localhost:8080
+//	planserve -addr localhost:8080 -cache-size 4096 -workers 8
+//	planserve -loadgen http://localhost:8080 -duration 2s -concurrency 16
+//
+// Endpoints:
+//
+//	POST /v1/plan     full plan (weights, partitions, mapping quality, cost)
+//	POST /v1/compare  sequential-vs-concurrent comparison
+//	GET  /v1/stats    plan-cache occupancy and hit/miss counters
+//	GET  /healthz     liveness
+//	GET  /metrics     request counters and latency histograms (text)
+//	GET  /debug/vars  expvar (includes the metrics snapshot)
+//	GET  /debug/pprof live profiling
+//
+// Whether a response came from the shared cache is reported in the
+// X-Plan-Cache header ("hit" or "miss"); hit and cold bodies are
+// byte-identical.
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining
+// in-flight requests for up to -grace.
+//
+// -loadgen turns the binary into a load-test client: it hammers a
+// running server with the canonical two-typhoon plan query and reports
+// sustained throughput and the cache hit ratio.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"nestwrf/internal/metrics"
+	"nestwrf/internal/planserve"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "listen address")
+	cacheSize := flag.Int("cache-size", 1024, "maximum cached plans")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "maximum concurrent cache-miss planning jobs")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	grace := flag.Duration("grace", 5*time.Second, "shutdown drain window")
+	loadgen := flag.String("loadgen", "", "run as a load-test client against this base URL instead of serving")
+	duration := flag.Duration("duration", 2*time.Second, "loadgen: how long to hammer")
+	concurrency := flag.Int("concurrency", 2*runtime.GOMAXPROCS(0), "loadgen: concurrent clients")
+	flag.Parse()
+
+	if *loadgen != "" {
+		os.Exit(runLoadgen(*loadgen, *duration, *concurrency))
+	}
+	os.Exit(serve(*addr, *cacheSize, *workers, *timeout, *grace))
+}
+
+// serve runs the planning service until SIGINT/SIGTERM.
+func serve(addr string, cacheSize, workers int, timeout, grace time.Duration) int {
+	reg := metrics.NewRegistry()
+	srv := planserve.New(planserve.Config{
+		CacheSize:      cacheSize,
+		Workers:        workers,
+		RequestTimeout: timeout,
+		Metrics:        reg,
+	})
+	defer srv.Close()
+
+	expvar.NewString("nestwrf_component").Set("planserve")
+	expvar.Publish("nestwrf_planserve_metrics", expvar.Func(func() any { return reg.Snapshot() }))
+
+	// The service mux handles its own routes; /debug/* (expvar, pprof)
+	// falls through to the default mux.
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.Handle("/debug/", http.DefaultServeMux)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "planserve: listen %s: %v\n", addr, err)
+		return 2
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "planserve: serving on http://%s (cache %d, workers %d)\n",
+		ln.Addr(), cacheSize, workers)
+	if err := planserve.ServeUntil(ctx, ln, mux, grace); err != nil {
+		fmt.Fprintf(os.Stderr, "planserve: %v\n", err)
+		return 1
+	}
+	entries, hits, misses, evictions := srv.CacheStats()
+	fmt.Fprintf(os.Stderr, "planserve: shut down cleanly (cache entries %d, hits %d, misses %d, evictions %d)\n",
+		entries, hits, misses, evictions)
+	return 0
+}
+
+// loadgenBody is the canonical two-typhoon Pacific query (the paper's
+// Table 5 configuration shape).
+const loadgenBody = `{
+	"machine": "bgl",
+	"ranks": 256,
+	"strategy": "concurrent",
+	"alloc": "predicted",
+	"mapping": "multilevel",
+	"domain": {
+		"name": "pacific", "nx": 286, "ny": 307,
+		"children": [
+			{"name": "t1", "nx": 394, "ny": 418, "ratio": 3, "off_x": 5, "off_y": 5},
+			{"name": "t2", "nx": 313, "ny": 337, "ratio": 3, "off_x": 140, "off_y": 150}
+		]
+	}
+}`
+
+// runLoadgen hammers base's /v1/plan with identical queries from
+// workers goroutines for the given duration and reports sustained
+// throughput; the first query warms the cache so the steady state
+// measures the cache-hot path.
+func runLoadgen(base string, duration time.Duration, workers int) int {
+	base = strings.TrimRight(base, "/")
+	client := &http.Client{Timeout: 10 * time.Second}
+	if _, err := postPlan(client, base); err != nil {
+		fmt.Fprintf(os.Stderr, "planserve: loadgen warmup: %v\n", err)
+		return 1
+	}
+
+	var requests, hits, failures atomic.Int64
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				hit, err := postPlan(client, base)
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				requests.Add(1)
+				if hit {
+					hits.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	n := requests.Load()
+	qps := float64(n) / elapsed
+	fmt.Printf("requests: %d in %.2fs (%d clients)\n", n, elapsed, workers)
+	fmt.Printf("throughput: %.0f plan-queries/sec\n", qps)
+	fmt.Printf("cache hits: %d (%.1f%%), failures: %d\n",
+		hits.Load(), 100*float64(hits.Load())/float64(max(n, 1)), failures.Load())
+	if failures.Load() > 0 || n == 0 {
+		return 1
+	}
+	return 0
+}
+
+// postPlan sends one plan query and reports whether it was a cache
+// hit.
+func postPlan(client *http.Client, base string) (hit bool, err error) {
+	resp, err := client.Post(base+"/v1/plan", "application/json", strings.NewReader(loadgenBody))
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.Unmarshal(body, &e)
+		return false, fmt.Errorf("status %d: %s", resp.StatusCode, e.Error)
+	}
+	return resp.Header.Get(planserve.CacheHeader) == "hit", nil
+}

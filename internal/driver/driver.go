@@ -221,12 +221,13 @@ type run struct {
 	rep     *reportBuilder // nil unless a report or metrics were requested
 }
 
-// predictor returns the run's predictor, training one from the machine's
-// cost model on first use. The caller's Options are never written to, so
-// a single Options value can safely configure concurrent Runs.
+// predictor returns the run's predictor, resolving the shared cached
+// model for the machine on first use (training it if this machine has
+// never been seen). The caller's Options are never written to, so a
+// single Options value can safely configure concurrent Runs.
 func (r *run) predictor() (*predict.Model, error) {
 	if r.pred == nil {
-		p, err := TrainPredictor(r.opt.Machine)
+		p, err := CachedPredictor(r.opt.Machine)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,53 @@
+package driver
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The parsers below are the inverses of the corresponding String
+// methods, shared by every front end (CLI flags, the plan server's
+// JSON fields) so that accepted spellings and error messages cannot
+// drift apart. All of them are case-insensitive and list the accepted
+// names in their errors.
+
+// ParseStrategy parses an execution-strategy name.
+func ParseStrategy(s string) (Strategy, error) {
+	switch strings.ToLower(s) {
+	case "sequential", "default":
+		return Sequential, nil
+	case "concurrent":
+		return Concurrent, nil
+	}
+	return 0, fmt.Errorf("driver: unknown strategy %q (accepted: sequential, concurrent)", s)
+}
+
+// ParseMapKind parses a mapping name.
+func ParseMapKind(s string) (MapKind, error) {
+	switch strings.ToLower(s) {
+	case "oblivious", "sequential":
+		return MapSequential, nil
+	case "txyz":
+		return MapTXYZ, nil
+	case "partition":
+		return MapPartition, nil
+	case "multilevel", "multi-level":
+		return MapMultiLevel, nil
+	}
+	return 0, fmt.Errorf("driver: unknown mapping %q (accepted: oblivious, txyz, partition, multilevel)", s)
+}
+
+// ParseAllocPolicy parses an allocation-policy name.
+func ParseAllocPolicy(s string) (AllocPolicy, error) {
+	switch strings.ToLower(s) {
+	case "predicted":
+		return AllocPredicted, nil
+	case "naive-points", "naive", "points":
+		return AllocNaivePoints, nil
+	case "equal":
+		return AllocEqual, nil
+	case "strips-predicted", "strips":
+		return AllocStripsPredicted, nil
+	}
+	return 0, fmt.Errorf("driver: unknown allocation policy %q (accepted: predicted, naive-points, equal, strips-predicted)", s)
+}

@@ -1,0 +1,73 @@
+package driver
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseStrategy(t *testing.T) {
+	cases := map[string]Strategy{
+		"sequential": Sequential, "default": Sequential,
+		"concurrent": Concurrent, "Concurrent": Concurrent, "SEQUENTIAL": Sequential,
+	}
+	for in, want := range cases {
+		got, err := ParseStrategy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseStrategy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseStrategy("parallel"); err == nil {
+		t.Error("ParseStrategy accepted unknown strategy")
+	} else if !strings.Contains(err.Error(), "sequential") {
+		t.Errorf("ParseStrategy error %q does not list accepted names", err)
+	}
+}
+
+func TestParseMapKind(t *testing.T) {
+	cases := map[string]MapKind{
+		"oblivious": MapSequential, "sequential": MapSequential,
+		"txyz": MapTXYZ, "TXYZ": MapTXYZ,
+		"partition":  MapPartition,
+		"multilevel": MapMultiLevel, "Multi-Level": MapMultiLevel,
+	}
+	for in, want := range cases {
+		got, err := ParseMapKind(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMapKind(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	// Round trip: every kind's String parses back to itself.
+	for _, k := range []MapKind{MapSequential, MapTXYZ, MapPartition, MapMultiLevel} {
+		got, err := ParseMapKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseMapKind(%q) = %v, %v; want %v", k.String(), got, err, k)
+		}
+	}
+	if _, err := ParseMapKind("snake"); err == nil {
+		t.Error("ParseMapKind accepted unknown mapping")
+	}
+}
+
+func TestParseAllocPolicy(t *testing.T) {
+	cases := map[string]AllocPolicy{
+		"predicted": AllocPredicted, "Predicted": AllocPredicted,
+		"naive-points": AllocNaivePoints, "naive": AllocNaivePoints, "points": AllocNaivePoints,
+		"equal":            AllocEqual,
+		"strips-predicted": AllocStripsPredicted, "strips": AllocStripsPredicted,
+	}
+	for in, want := range cases {
+		got, err := ParseAllocPolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseAllocPolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, p := range []AllocPolicy{AllocPredicted, AllocNaivePoints, AllocEqual, AllocStripsPredicted} {
+		got, err := ParseAllocPolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParseAllocPolicy(%q) = %v, %v; want %v", p.String(), got, err, p)
+		}
+	}
+	if _, err := ParseAllocPolicy("greedy"); err == nil {
+		t.Error("ParseAllocPolicy accepted unknown policy")
+	}
+}

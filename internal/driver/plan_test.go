@@ -1,0 +1,121 @@
+package driver
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"nestwrf/internal/machine"
+	"nestwrf/internal/nest"
+)
+
+func planConfig() *nest.Domain {
+	cfg := nest.Root("plan", 286, 307)
+	cfg.AddChild("s1", 394, 418, 3, 5, 5)
+	cfg.AddChild("s2", 232, 202, 3, 150, 10)
+	cfg.AddChild("s3", 313, 337, 3, 140, 150)
+	return cfg
+}
+
+func TestBuildPlan(t *testing.T) {
+	cfg := planConfig()
+	opt := Options{
+		Machine:  machine.BGL(),
+		Ranks:    256,
+		Strategy: Concurrent,
+		MapKind:  MapMultiLevel,
+	}
+	p, err := BuildPlan(cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ranks != 256 || p.Px*p.Py != 256 {
+		t.Errorf("grid %dx%d for %d ranks", p.Px, p.Py, p.Ranks)
+	}
+	var sum float64
+	for _, w := range p.Weights {
+		sum += w
+	}
+	if len(p.Weights) != 3 || math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights %v sum %v, want 3 weights summing to 1", p.Weights, sum)
+	}
+	if len(p.Rects) != 3 {
+		t.Fatalf("got %d rects, want 3", len(p.Rects))
+	}
+	area := 0
+	for _, r := range p.Rects {
+		area += r.Area()
+	}
+	if area != 256 {
+		t.Errorf("partitions cover %d cores, want 256", area)
+	}
+	for _, kind := range []string{"oblivious", "txyz", "partition", "multilevel"} {
+		if _, ok := p.Mapping[kind]; !ok {
+			t.Errorf("mapping quality for %q missing (got %v)", kind, p.Mapping)
+		}
+	}
+	// The embedded cost prediction is exactly what Run reports.
+	want, err := Run(cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Cost, want) {
+		t.Errorf("plan cost %+v != Run result %+v", p.Cost, want)
+	}
+}
+
+func TestBuildPlanFixedWeights(t *testing.T) {
+	cfg := planConfig()
+	opt := Options{
+		Machine:      machine.BGL(),
+		Ranks:        64,
+		Strategy:     Concurrent,
+		FixedWeights: []float64{0.5, 0.25, 0.25},
+	}
+	p, err := BuildPlan(cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Weights, opt.FixedWeights) {
+		t.Errorf("weights %v, want the fixed weights %v", p.Weights, opt.FixedWeights)
+	}
+	// The plan must have copied, not aliased, the caller's slice.
+	opt.FixedWeights[0] = 0.9
+	if p.Weights[0] != 0.5 {
+		t.Error("plan weights alias the caller's FixedWeights slice")
+	}
+}
+
+func TestBuildPlanBadInput(t *testing.T) {
+	if _, err := BuildPlan(planConfig(), Options{Machine: machine.BGL()}); err == nil {
+		t.Error("BuildPlan accepted zero ranks")
+	}
+	bad := nest.Root("bad", -1, 10)
+	if _, err := BuildPlan(bad, Options{Machine: machine.BGL(), Ranks: 64}); err == nil {
+		t.Error("BuildPlan accepted invalid domain")
+	}
+}
+
+func TestCachedPredictorSharing(t *testing.T) {
+	p1, err := CachedPredictor(machine.BGL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := CachedPredictor(machine.BGL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("same machine identity did not share a predictor")
+	}
+	// A machine differing in any cost parameter must not share.
+	m := machine.BGL()
+	m.PointCost *= 2
+	p3, err := CachedPredictor(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Error("different machine identity shared a predictor")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"nestwrf/internal/alloc"
+	"nestwrf/internal/driver"
 	"nestwrf/internal/machine"
 	"nestwrf/internal/mapping"
 	"nestwrf/internal/model"
@@ -29,11 +30,7 @@ func renderAll(t *testing.T) string {
 // resetPredictorCache drops fitted predictors so the next run rebuilds
 // them through whichever netsim/model path is active.
 func resetPredictorCache() {
-	predMu.Lock()
-	for k := range predCache {
-		delete(predCache, k)
-	}
-	predMu.Unlock()
+	driver.ResetPredictorCache()
 }
 
 // TestFastPathOutputByteIdentical is the PR 4 equivalence guard: the

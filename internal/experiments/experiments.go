@@ -160,31 +160,11 @@ func IDs() []string {
 
 // predictors are trained once per machine and shared across
 // experiments (the paper's 13 profiling runs are likewise done once).
-// The cache key covers the machine's full identity, not just its name:
-// two machines that share a name but differ in any cost-model parameter
-// must not share a predictor.
-var (
-	predMu    sync.Mutex
-	predCache = map[string]*predict.Model{}
-)
-
-// machineKey renders every field of m, so any cost-model difference
-// yields a distinct cache entry.
-func machineKey(m machine.Machine) string { return fmt.Sprintf("%#v", m) }
-
+// The cache itself lives in internal/driver so the experiment harness,
+// facade and plan server all share one trained model per machine
+// identity.
 func predictorFor(m machine.Machine) (*predict.Model, error) {
-	key := machineKey(m)
-	predMu.Lock()
-	defer predMu.Unlock()
-	if p, ok := predCache[key]; ok {
-		return p, nil
-	}
-	p, err := driver.TrainPredictor(m)
-	if err != nil {
-		return nil, err
-	}
-	predCache[key] = p
-	return p, nil
+	return driver.CachedPredictor(m)
 }
 
 // baseOptions builds run options with the shared predictor.

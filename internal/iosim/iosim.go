@@ -15,6 +15,7 @@ package iosim
 import (
 	"errors"
 	"fmt"
+	"strings"
 )
 
 // Params are the I/O cost-model parameters. Times in seconds, sizes in
@@ -87,16 +88,18 @@ func (m Mode) String() string {
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
 
-// ParseMode is the inverse of Mode.String, for CLI flags and report
-// configs. It accepts the canonical names plus common aliases.
+// ParseMode is the inverse of Mode.String, for CLI flags, JSON fields
+// and report configs. It accepts the canonical names plus common
+// aliases, case-insensitively ("PnetCDF" and "pnetcdf" are the same
+// mode), so callers must not pre-lower their input.
 func ParseMode(s string) (Mode, error) {
-	switch s {
+	switch strings.ToLower(s) {
 	case "pnetcdf", "collective":
 		return Collective, nil
 	case "split":
 		return Split, nil
 	}
-	return 0, fmt.Errorf("iosim: unknown I/O mode %q (pnetcdf, split)", s)
+	return 0, fmt.Errorf("iosim: unknown I/O mode %q (accepted: pnetcdf, collective, split)", s)
 }
 
 // WriteTime dispatches on the mode.

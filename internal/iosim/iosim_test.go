@@ -2,6 +2,7 @@ package iosim
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -110,6 +111,9 @@ func TestModeString(t *testing.T) {
 func TestParseMode(t *testing.T) {
 	cases := map[string]Mode{
 		"pnetcdf": Collective, "collective": Collective, "split": Split,
+		// Mixed-case spellings must parse too: the plan server's JSON
+		// fields and CLI users write "PnetCDF" as the format is branded.
+		"PnetCDF": Collective, "COLLECTIVE": Collective, "Split": Split,
 	}
 	for in, want := range cases {
 		got, err := ParseMode(in)
@@ -122,5 +126,7 @@ func TestParseMode(t *testing.T) {
 	}
 	if _, err := ParseMode("netcdf4"); err == nil {
 		t.Error("ParseMode accepted unknown mode")
+	} else if !strings.Contains(err.Error(), "pnetcdf") || !strings.Contains(err.Error(), "split") {
+		t.Errorf("ParseMode error %q does not list the accepted names", err)
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"nestwrf/internal/torus"
 )
@@ -50,17 +51,18 @@ func (p Params) Validate() error {
 	return nil
 }
 
-// reference switches every Network onto the original map-based load
-// accounting and per-call route construction. It exists solely for the
-// equivalence tests, which assert the dense fast path produces
-// byte-identical results; it must only be toggled when no Networks are
-// in concurrent use.
-var reference bool
+// reference switches newly constructed Networks onto the original
+// map-based load accounting and per-call route construction. It exists
+// solely for the equivalence tests, which assert the dense fast path
+// produces byte-identical results. The flag is atomic so a toggle is
+// race-free against concurrent Network construction (each Network
+// commits to one path at New and never re-reads the flag).
+var reference atomic.Bool
 
 // SetReference selects the retained slow path (true) or the dense fast
-// path (false, the default). Only tests should call this, and never
-// while simulations are running concurrently.
-func SetReference(on bool) { reference = on }
+// path (false, the default) for Networks constructed after the call.
+// Only tests should call this.
+func SetReference(on bool) { reference.Store(on) }
 
 // routeCache memoizes dimension-ordered routes (as dense link indices)
 // per source/destination node pair of one torus shape. Halo pairs
@@ -129,7 +131,7 @@ func New(t torus.Torus, p Params) (*Network, error) {
 		return nil, err
 	}
 	n := &Network{Torus: t, Params: p}
-	if reference {
+	if reference.Load() {
 		n.refLoad = make(map[torus.Link]int)
 		return n, nil
 	}

@@ -1,0 +1,86 @@
+package planserve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// BenchmarkPlanQueryCacheHot measures sustained cache-hot plan-query
+// throughput through the full HTTP handler path (JSON decode, request
+// resolution, canonical key build, LRU hit, JSON encode). The qps
+// metric is the acceptance number for the plan server (>10k/s).
+func BenchmarkPlanQueryCacheHot(b *testing.B) {
+	srv := New(Config{})
+	h := srv.Handler()
+	body := testRequestBench()
+	// Warm the cache so every measured request is a hit.
+	req := httptest.NewRequest("POST", "/v1/plan", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("warmup failed %d: %s", rec.Code, rec.Body.String())
+	}
+
+	b.ReportAllocs()
+	start := time.Now()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest("POST", "/v1/plan", strings.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Errorf("status %d", rec.Code)
+				return
+			}
+			if rec.Header().Get(CacheHeader) != "hit" {
+				b.Error("measured request was not a cache hit")
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "qps")
+}
+
+// BenchmarkPlanQueryCacheMiss measures cold planning throughput: every
+// request has a distinct rank count, so each one runs the full
+// pipeline under the worker pool.
+func BenchmarkPlanQueryCacheMiss(b *testing.B) {
+	srv := New(Config{CacheSize: 1})
+	h := srv.Handler()
+	bodies := []string{
+		`{"machine":"bgl","ranks":64,"strategy":"sequential","mapping":"oblivious","domain":{"nx":64,"ny":64}}`,
+		`{"machine":"bgl","ranks":128,"strategy":"sequential","mapping":"oblivious","domain":{"nx":64,"ny":64}}`,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/plan", strings.NewReader(bodies[i%2]))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// testRequestBench returns the canonical three-domain benchmark query.
+func testRequestBench() string {
+	return `{
+		"machine": "bgl",
+		"ranks": 256,
+		"strategy": "concurrent",
+		"alloc": "predicted",
+		"mapping": "multilevel",
+		"domain": {
+			"name": "pacific", "nx": 286, "ny": 307,
+			"children": [
+				{"name": "t1", "nx": 394, "ny": 418, "ratio": 3, "off_x": 5, "off_y": 5},
+				{"name": "t2", "nx": 313, "ny": 337, "ratio": 3, "off_x": 140, "off_y": 150}
+			]
+		}
+	}`
+}

@@ -1,0 +1,141 @@
+package planserve
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrCacheClosed is returned by Do after Close.
+var ErrCacheClosed = errors.New("planserve: cache closed")
+
+// flight is one in-progress computation that concurrent identical
+// queries join instead of recomputing (singleflight dedup). done is
+// closed exactly once, after val/err are set.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// cache is a bounded, shared LRU keyed by canonical query strings,
+// with singleflight deduplication of concurrent misses. It stores
+// immutable plan values: a hit hands the same pointer to every caller,
+// which is safe because plans are never mutated after construction.
+type cache struct {
+	mu       sync.Mutex
+	max      int        // maximum resident entries (> 0)
+	ll       *list.List // front = most recently used
+	entries  map[string]*list.Element
+	inflight map[string]*flight
+	closed   bool
+
+	hits, misses, evictions uint64
+}
+
+// lruEntry is the list payload.
+type lruEntry struct {
+	key string
+	val any
+}
+
+// newCache returns an LRU cache bounded to max entries (min 1).
+func newCache(max int) *cache {
+	if max < 1 {
+		max = 1
+	}
+	return &cache{
+		max:      max,
+		ll:       list.New(),
+		entries:  map[string]*list.Element{},
+		inflight: map[string]*flight{},
+	}
+}
+
+// Do returns the cached value for key, or computes it via compute. At
+// most one compute runs per key at a time: concurrent callers with the
+// same key wait for the leader's result (or their own context, in
+// which case the computation keeps running and lands in the cache for
+// later queries). Errors are not cached; the next query retries.
+// The hit result reports whether the value came from the cache without
+// waiting on any computation.
+func (c *cache) Do(ctx context.Context, key string, compute func() (any, error)) (val any, hit bool, err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, false, ErrCacheClosed
+	}
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		val = el.Value.(*lruEntry).val
+		c.mu.Unlock()
+		return val, true, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, false, f.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.misses++
+	c.mu.Unlock()
+
+	f.val, f.err = compute()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil && !c.closed {
+		c.insert(key, f.val)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, false, f.err
+}
+
+// insert adds key -> val and evicts the least recently used entry when
+// over capacity (callers hold c.mu).
+func (c *cache) insert(key string, val any) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*lruEntry).key)
+		c.evictions++
+	}
+}
+
+// Len returns the number of resident entries.
+func (c *cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns cumulative hit/miss/eviction counts.
+func (c *cache) Stats() (hits, misses, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}
+
+// Close empties the cache and makes further Do calls fail fast.
+// In-flight computations complete but their results are dropped.
+func (c *cache) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	c.ll.Init()
+	c.entries = map[string]*list.Element{}
+}

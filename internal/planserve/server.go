@@ -1,0 +1,406 @@
+// Package planserve turns the planning pipeline into a service:
+// an HTTP/JSON server over the nestwrf facade (BuildPlan / Compare)
+// with a shared bounded plan cache, singleflight deduplication of
+// concurrent identical queries, a worker pool bounding concurrent
+// cache-miss planning, per-request metrics, and graceful shutdown.
+//
+// Plans are immutable once built (driver.Plan's contract), so one
+// cached plan is shared by every request that matches its canonical
+// key; whether a response was served from cache is reported in the
+// X-Plan-Cache header — never in the body — so cache-hit responses
+// are byte-identical to cold-computed ones.
+package planserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"nestwrf"
+	"nestwrf/internal/alloc"
+	"nestwrf/internal/driver"
+	"nestwrf/internal/iosim"
+	"nestwrf/internal/machine"
+	"nestwrf/internal/metrics"
+	"nestwrf/internal/nest"
+)
+
+// CacheHeader is the response header reporting "hit" or "miss".
+const CacheHeader = "X-Plan-Cache"
+
+// maxBodyBytes bounds request bodies; domain trees are tiny.
+const maxBodyBytes = 1 << 20
+
+// DomainSpec is the JSON form of one simulation domain. Ratio, OffX
+// and OffY apply to nested domains only.
+type DomainSpec struct {
+	Name     string       `json:"name,omitempty"`
+	NX       int          `json:"nx"`
+	NY       int          `json:"ny"`
+	Ratio    int          `json:"ratio,omitempty"`
+	OffX     int          `json:"off_x,omitempty"`
+	OffY     int          `json:"off_y,omitempty"`
+	Children []DomainSpec `json:"children,omitempty"`
+}
+
+// build converts the spec tree into a validated nest.Domain tree.
+func (sp *DomainSpec) build() (*nest.Domain, error) {
+	root := nest.Root(sp.Name, sp.NX, sp.NY)
+	for i := range sp.Children {
+		addChildSpec(root, &sp.Children[i])
+	}
+	if err := root.Validate(); err != nil {
+		return nil, err
+	}
+	return root, nil
+}
+
+func addChildSpec(parent *nest.Domain, sp *DomainSpec) {
+	c := parent.AddChild(sp.Name, sp.NX, sp.NY, sp.Ratio, sp.OffX, sp.OffY)
+	for i := range sp.Children {
+		addChildSpec(c, &sp.Children[i])
+	}
+}
+
+// PlanRequest is the JSON body of /v1/plan and /v1/compare.
+type PlanRequest struct {
+	// Machine selects the cost model: "bgl" or "bgp" (any case; the
+	// full names "BlueGene/L" / "BlueGene/P" are also accepted).
+	Machine string `json:"machine"`
+	Ranks   int    `json:"ranks"`
+	// Strategy defaults to "concurrent"; Alloc to "predicted"; Mapping
+	// to "multilevel". Any parseable name (see the facade parsers) is
+	// accepted, any case.
+	Strategy string `json:"strategy,omitempty"`
+	Alloc    string `json:"alloc,omitempty"`
+	Mapping  string `json:"mapping,omitempty"`
+	// IO selects the I/O mode ("pnetcdf"/"collective" or "split");
+	// OutputEvery enables the I/O model when positive.
+	IO           string `json:"io,omitempty"`
+	OutputEvery  int    `json:"output_every,omitempty"`
+	NoContention bool   `json:"no_contention,omitempty"`
+
+	Domain DomainSpec `json:"domain"`
+}
+
+// resolve parses and defaults the request into concrete planning
+// inputs.
+func (r *PlanRequest) resolve() (machine.Machine, driver.Options, *nest.Domain, error) {
+	var m machine.Machine
+	switch strings.ToLower(r.Machine) {
+	case "bgl", "bg/l", "bluegene/l":
+		m = nestwrf.BlueGeneL()
+	case "bgp", "bg/p", "bluegene/p":
+		m = nestwrf.BlueGeneP()
+	default:
+		return m, driver.Options{}, nil,
+			fmt.Errorf("planserve: unknown machine %q (accepted: bgl, bgp)", r.Machine)
+	}
+	opt := driver.Options{
+		Machine:          m,
+		Ranks:            r.Ranks,
+		Strategy:         driver.Concurrent,
+		Alloc:            driver.AllocPredicted,
+		MapKind:          driver.MapMultiLevel,
+		OutputEverySteps: r.OutputEvery,
+		NoContention:     r.NoContention,
+	}
+	var err error
+	if r.Strategy != "" {
+		if opt.Strategy, err = nestwrf.ParseStrategy(r.Strategy); err != nil {
+			return m, opt, nil, err
+		}
+	}
+	if r.Alloc != "" {
+		if opt.Alloc, err = nestwrf.ParseAllocPolicy(r.Alloc); err != nil {
+			return m, opt, nil, err
+		}
+	}
+	if r.Mapping != "" {
+		if opt.MapKind, err = nestwrf.ParseMapKind(r.Mapping); err != nil {
+			return m, opt, nil, err
+		}
+	}
+	if r.IO != "" {
+		if opt.IOMode, err = iosim.ParseMode(r.IO); err != nil {
+			return m, opt, nil, err
+		}
+	}
+	cfg, err := r.Domain.build()
+	if err != nil {
+		return m, opt, nil, err
+	}
+	return m, opt, cfg, nil
+}
+
+// SiblingPlan is one first-level nest's share of the plan.
+type SiblingPlan struct {
+	Name   string     `json:"name"`
+	Weight float64    `json:"weight"`
+	Rect   alloc.Rect `json:"rect"`
+}
+
+// PlanResponse is the JSON body of a /v1/plan response.
+type PlanResponse struct {
+	Machine  string `json:"machine"`
+	Ranks    int    `json:"ranks"`
+	Px       int    `json:"px"`
+	Py       int    `json:"py"`
+	Strategy string `json:"strategy"`
+	Alloc    string `json:"alloc"`
+	Mapping  string `json:"mapping"`
+	// Siblings pair the request's first-level nest names with their
+	// predicted weights and processor partitions.
+	Siblings []SiblingPlan `json:"siblings"`
+	// MappingQuality reports hop metrics per feasible mapping kind.
+	MappingQuality map[string]driver.MappingQuality `json:"mapping_quality"`
+	// Cost is the predicted per-iteration cost under the requested
+	// strategy and mapping.
+	Cost driver.Result `json:"cost"`
+}
+
+// CompareResponse is the JSON body of a /v1/compare response.
+type CompareResponse struct {
+	Machine             string        `json:"machine"`
+	Ranks               int           `json:"ranks"`
+	Default             driver.Result `json:"default"`
+	Concurrent          driver.Result `json:"concurrent"`
+	ImprovementPct      float64       `json:"improvement_pct"`
+	TotalImprovementPct float64       `json:"total_improvement_pct"`
+	WaitImprovementPct  float64       `json:"wait_improvement_pct"`
+}
+
+// errorResponse is the JSON body of any non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Config configures a Server. The zero value gets sensible defaults.
+type Config struct {
+	// CacheSize bounds the shared plan cache (entries). Default 1024.
+	CacheSize int
+	// Workers bounds concurrent cache-miss planning. Default
+	// GOMAXPROCS.
+	Workers int
+	// RequestTimeout bounds each request end to end. Default 30s.
+	RequestTimeout time.Duration
+	// Metrics receives per-request instrumentation; nil disables it
+	// (a nil registry is a valid no-op sink).
+	Metrics *metrics.Registry
+}
+
+// Server is the planning service: share one across all connections.
+type Server struct {
+	cfg   Config
+	plans *cache
+	sem   chan struct{}
+	reg   *metrics.Registry
+}
+
+// New builds a Server from cfg (zero-value fields are defaulted).
+func New(cfg Config) *Server {
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 1024
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	return &Server{
+		cfg:   cfg,
+		plans: newCache(cfg.CacheSize),
+		sem:   make(chan struct{}, cfg.Workers),
+		reg:   cfg.Metrics,
+	}
+}
+
+// Close shuts the plan cache; queued requests fail fast afterwards.
+func (s *Server) Close() { s.plans.Close() }
+
+// CacheStats reports the shared cache's occupancy and counters.
+func (s *Server) CacheStats() (entries int, hits, misses, evictions uint64) {
+	hits, misses, evictions = s.plans.Stats()
+	return s.plans.Len(), hits, misses, evictions
+}
+
+// Handler returns the service mux: POST /v1/plan, POST /v1/compare,
+// GET /v1/stats, GET /healthz, GET /metrics.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/plan", func(w http.ResponseWriter, r *http.Request) {
+		s.serveQuery(w, r, "plan")
+	})
+	mux.HandleFunc("POST /v1/compare", func(w http.ResponseWriter, r *http.Request) {
+		s.serveQuery(w, r, "compare")
+	})
+	mux.HandleFunc("GET /v1/stats", s.serveStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = s.reg.Snapshot().WriteText(w)
+	})
+	return mux
+}
+
+// latencyBounds are the request-duration histogram buckets (seconds):
+// cache hits land in the microsecond buckets, cold plans in the
+// hundreds of milliseconds.
+var latencyBounds = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1, 1, 2.5, 5,
+}
+
+// serveQuery handles both planning endpoints: decode, resolve,
+// cache-or-compute under the worker pool, marshal.
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint string) {
+	start := time.Now()
+	s.reg.Gauge("planserve_inflight_requests").Add(1)
+	code := http.StatusOK
+	defer func() {
+		s.reg.Gauge("planserve_inflight_requests").Add(-1)
+		s.reg.Counter("planserve_requests_total",
+			metrics.L("endpoint", endpoint), metrics.L("code", strconv.Itoa(code))).Inc()
+		s.reg.Histogram("planserve_request_seconds", latencyBounds,
+			metrics.L("endpoint", endpoint)).Observe(time.Since(start).Seconds())
+	}()
+
+	var req PlanRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		code = http.StatusBadRequest
+		writeJSON(w, code, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	m, opt, cfg, err := req.resolve()
+	if err != nil {
+		code = http.StatusBadRequest
+		writeJSON(w, code, errorResponse{Error: err.Error()})
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	var compute func() (any, error)
+	switch endpoint {
+	case "plan":
+		compute = func() (any, error) { return nestwrf.BuildPlan(cfg, opt) }
+	default:
+		compute = func() (any, error) {
+			cmp, err := nestwrf.Compare(cfg, opt)
+			if err != nil {
+				return nil, err
+			}
+			return &cmp, nil
+		}
+	}
+	key := cacheKey(endpoint+"|", m, opt, cfg)
+	val, hit, err := s.plans.Do(ctx, key, func() (any, error) {
+		// The singleflight leader claims a worker-pool slot; joiners
+		// wait on the flight, not the pool.
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		defer func() { <-s.sem }()
+		return compute()
+	})
+	result := "miss"
+	if hit {
+		result = "hit"
+	}
+	s.reg.Counter("planserve_cache_total",
+		metrics.L("endpoint", endpoint), metrics.L("result", result)).Inc()
+	if err != nil {
+		code = statusFor(err)
+		writeJSON(w, code, errorResponse{Error: err.Error()})
+		return
+	}
+
+	w.Header().Set(CacheHeader, result)
+	switch p := val.(type) {
+	case *driver.Plan:
+		writeJSON(w, http.StatusOK, planResponse(m, cfg, p))
+	case *nestwrf.Comparison:
+		writeJSON(w, http.StatusOK, &CompareResponse{
+			Machine: m.Name, Ranks: opt.Ranks,
+			Default: p.Default, Concurrent: p.Concurrent,
+			ImprovementPct:      p.ImprovementPct,
+			TotalImprovementPct: p.TotalImprovementPct,
+			WaitImprovementPct:  p.WaitImprovementPct,
+		})
+	}
+}
+
+// planResponse marshals a cached (name-free) plan back under the
+// request's own domain names.
+func planResponse(m machine.Machine, cfg *nest.Domain, p *driver.Plan) *PlanResponse {
+	resp := &PlanResponse{
+		Machine: m.Name, Ranks: p.Ranks, Px: p.Px, Py: p.Py,
+		Strategy: p.Strategy.String(), Alloc: p.Alloc.String(), Mapping: p.MapKind.String(),
+		MappingQuality: p.Mapping,
+		Cost:           p.Cost,
+	}
+	for i, c := range cfg.Children {
+		sib := SiblingPlan{Name: c.Name}
+		if i < len(p.Weights) {
+			sib.Weight = p.Weights[i]
+		}
+		if i < len(p.Rects) {
+			sib.Rect = p.Rects[i]
+		}
+		resp.Siblings = append(resp.Siblings, sib)
+	}
+	return resp
+}
+
+// serveStats reports cache occupancy and hit/miss counters as JSON.
+func (s *Server) serveStats(w http.ResponseWriter, _ *http.Request) {
+	entries, hits, misses, evictions := s.CacheStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"entries": entries, "hits": hits, "misses": misses, "evictions": evictions,
+	})
+}
+
+// statusFor maps a planning error to an HTTP status.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request
+	case errors.Is(err, ErrCacheClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// writeJSON marshals v and writes it with the given status. Marshal
+// errors cannot occur for the fixed response types, but are reported
+// defensively.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(buf.Bytes())
+}

@@ -1,0 +1,383 @@
+package planserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nestwrf/internal/metrics"
+)
+
+// testRequest is a three-nest BG/L configuration shared by the tests.
+func testRequest(strategy, alloc, mapping string) string {
+	return fmt.Sprintf(`{
+		"machine": "bgl",
+		"ranks": 64,
+		"strategy": %q,
+		"alloc": %q,
+		"mapping": %q,
+		"domain": {
+			"name": "pacific", "nx": 286, "ny": 307,
+			"children": [
+				{"name": "t1", "nx": 394, "ny": 418, "ratio": 3, "off_x": 5, "off_y": 5},
+				{"name": "t2", "nx": 313, "ny": 337, "ratio": 3, "off_x": 140, "off_y": 150}
+			]
+		}
+	}`, strategy, alloc, mapping)
+}
+
+// post sends one JSON query and returns the status, cache header and
+// body.
+func post(t *testing.T, h http.Handler, path, body string) (int, string, []byte) {
+	t.Helper()
+	req := httptest.NewRequest("POST", path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Header().Get(CacheHeader), rec.Body.Bytes()
+}
+
+// TestPlanCacheByteIdentity is the acceptance guard: for every
+// strategy x alloc-policy x map-kind combination, a cache-hit response
+// must be byte-identical to the cold-computed response, both within one
+// server (miss then hit) and against a fresh server computing cold.
+func TestPlanCacheByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full combo sweep is slow; skipped with -short")
+	}
+	strategies := []string{"sequential", "concurrent"}
+	allocs := []string{"predicted", "naive-points", "equal", "strips-predicted"}
+	mappings := []string{"oblivious", "txyz", "partition", "multilevel"}
+
+	warm := New(Config{}).Handler()
+	for _, st := range strategies {
+		for _, al := range allocs {
+			for _, mp := range mappings {
+				name := st + "/" + al + "/" + mp
+				body := testRequest(st, al, mp)
+				code, cache1, cold := post(t, warm, "/v1/plan", body)
+				if code != http.StatusOK {
+					t.Fatalf("%s: cold query failed %d: %s", name, code, cold)
+				}
+				if cache1 != "miss" {
+					t.Errorf("%s: first query reported %q, want miss", name, cache1)
+				}
+				code, cache2, hot := post(t, warm, "/v1/plan", body)
+				if code != http.StatusOK {
+					t.Fatalf("%s: hot query failed %d", name, code)
+				}
+				if cache2 != "hit" {
+					t.Errorf("%s: second query reported %q, want hit", name, cache2)
+				}
+				if !bytes.Equal(cold, hot) {
+					t.Errorf("%s: cache-hit body differs from cold body:\ncold: %s\nhot:  %s", name, cold, hot)
+				}
+				// A fresh server must compute the identical bytes cold.
+				fresh := New(Config{}).Handler()
+				_, _, independent := post(t, fresh, "/v1/plan", body)
+				if !bytes.Equal(cold, independent) {
+					t.Errorf("%s: fresh-server cold body differs from cached body", name)
+				}
+			}
+		}
+	}
+}
+
+// TestCompareEndpoint checks /v1/compare returns both strategies and
+// caches byte-identically.
+func TestCompareEndpoint(t *testing.T) {
+	h := New(Config{}).Handler()
+	body := testRequest("concurrent", "predicted", "multilevel")
+	code, cache, cold := post(t, h, "/v1/compare", body)
+	if code != http.StatusOK {
+		t.Fatalf("compare failed %d: %s", code, cold)
+	}
+	if cache != "miss" {
+		t.Errorf("first compare reported %q, want miss", cache)
+	}
+	var resp CompareResponse
+	if err := json.Unmarshal(cold, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Default.IterTime <= 0 || resp.Concurrent.IterTime <= 0 {
+		t.Errorf("degenerate iteration times: %+v", resp)
+	}
+	if resp.ImprovementPct <= 0 {
+		t.Errorf("concurrent strategy shows no improvement: %+v", resp)
+	}
+	_, cache, hot := post(t, h, "/v1/compare", body)
+	if cache != "hit" || !bytes.Equal(cold, hot) {
+		t.Error("compare cache hit not byte-identical")
+	}
+}
+
+// TestPlanNamesSharedGeometry: renaming domains must share the cache
+// entry (geometry keying) while responses carry the request's names.
+func TestPlanNamesSharedGeometry(t *testing.T) {
+	h := New(Config{}).Handler()
+	body1 := testRequest("concurrent", "predicted", "multilevel")
+	if code, _, b := post(t, h, "/v1/plan", body1); code != http.StatusOK {
+		t.Fatalf("query failed %d: %s", code, b)
+	}
+	body2 := strings.NewReplacer(`"pacific"`, `"atlantic"`, `"t1"`, `"h1"`, `"t2"`, `"h2"`).Replace(body1)
+	code, cache, b := post(t, h, "/v1/plan", body2)
+	if code != http.StatusOK {
+		t.Fatalf("renamed query failed %d: %s", code, b)
+	}
+	if cache != "hit" {
+		t.Errorf("renamed identical geometry reported %q, want hit", cache)
+	}
+	var resp PlanResponse
+	if err := json.Unmarshal(b, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Siblings) != 2 || resp.Siblings[0].Name != "h1" || resp.Siblings[1].Name != "h2" {
+		t.Errorf("response does not carry the request's names: %+v", resp.Siblings)
+	}
+}
+
+// TestPlanSiblingOrderDistinct: reordered siblings are a different
+// plan (Algorithm 1 is order-sensitive), so they must not share.
+func TestPlanSiblingOrderDistinct(t *testing.T) {
+	h := New(Config{}).Handler()
+	body := `{"machine":"bgl","ranks":64,"domain":{"nx":286,"ny":307,"children":[` +
+		`{"name":"a","nx":394,"ny":418,"ratio":3,"off_x":5,"off_y":5},` +
+		`{"name":"b","nx":313,"ny":337,"ratio":3,"off_x":140,"off_y":150}]}}`
+	swapped := `{"machine":"bgl","ranks":64,"domain":{"nx":286,"ny":307,"children":[` +
+		`{"name":"b","nx":313,"ny":337,"ratio":3,"off_x":140,"off_y":150},` +
+		`{"name":"a","nx":394,"ny":418,"ratio":3,"off_x":5,"off_y":5}]}}`
+	if code, _, b := post(t, h, "/v1/plan", body); code != http.StatusOK {
+		t.Fatalf("query failed %d: %s", code, b)
+	}
+	_, cache, _ := post(t, h, "/v1/plan", swapped)
+	if cache != "miss" {
+		t.Error("reordered siblings shared a cache entry")
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	h := New(Config{}).Handler()
+	cases := []struct {
+		name, path, body string
+		want             int
+	}{
+		{"garbage body", "/v1/plan", "{", http.StatusBadRequest},
+		{"unknown field", "/v1/plan", `{"machine":"bgl","ranks":64,"bogus":1,"domain":{"nx":10,"ny":10}}`, http.StatusBadRequest},
+		{"unknown machine", "/v1/plan", `{"machine":"cray","ranks":64,"domain":{"nx":10,"ny":10}}`, http.StatusBadRequest},
+		{"bad mapping", "/v1/plan", `{"machine":"bgl","ranks":64,"mapping":"warp","domain":{"nx":10,"ny":10}}`, http.StatusBadRequest},
+		{"zero ranks", "/v1/plan", `{"machine":"bgl","domain":{"nx":10,"ny":10}}`, http.StatusBadRequest},
+		{"invalid domain", "/v1/plan", `{"machine":"bgl","ranks":64,"domain":{"nx":-1,"ny":10}}`, http.StatusBadRequest},
+		{"child outside parent", "/v1/compare",
+			`{"machine":"bgl","ranks":64,"domain":{"nx":20,"ny":20,"children":[{"nx":90,"ny":90,"ratio":1,"off_x":0,"off_y":0}]}}`,
+			http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		code, _, body := post(t, h, c.path, c.body)
+		if code != c.want {
+			t.Errorf("%s: status %d, want %d (%s)", c.name, code, c.want, body)
+		}
+		var e errorResponse
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body %q is not a JSON error", c.name, body)
+		}
+	}
+}
+
+func TestHealthStatsMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	srv := New(Config{Metrics: reg})
+	h := srv.Handler()
+
+	get := func(path string) (int, string) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec.Code, rec.Body.String()
+	}
+	if code, body := get("/healthz"); code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Errorf("healthz = %d %q", code, body)
+	}
+
+	body := testRequest("concurrent", "predicted", "multilevel")
+	post(t, h, "/v1/plan", body)
+	post(t, h, "/v1/plan", body)
+
+	code, stats := get("/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats failed %d", code)
+	}
+	var st map[string]float64
+	if err := json.Unmarshal([]byte(stats), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st["entries"] != 1 || st["hits"] != 1 || st["misses"] != 1 {
+		t.Errorf("stats %v, want entries=1 hits=1 misses=1", st)
+	}
+
+	code, text := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics failed %d", code)
+	}
+	for _, want := range []string{
+		`planserve_requests_total{code="200",endpoint="plan"} 2`,
+		`planserve_cache_total{endpoint="plan",result="hit"} 1`,
+		`planserve_cache_total{endpoint="plan",result="miss"} 1`,
+		"planserve_request_seconds_count",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestCacheEvictionBounded drives more distinct queries than the cache
+// holds and checks the bound and eviction counters through the API.
+func TestCacheEvictionBounded(t *testing.T) {
+	srv := New(Config{CacheSize: 2})
+	h := srv.Handler()
+	for ranks := 1; ranks <= 4; ranks++ {
+		body := fmt.Sprintf(`{"machine":"bgl","ranks":%d,"strategy":"sequential","mapping":"oblivious","domain":{"nx":64,"ny":64}}`, ranks*64)
+		if code, _, b := post(t, h, "/v1/plan", body); code != http.StatusOK {
+			t.Fatalf("ranks %d: %d %s", ranks*64, code, b)
+		}
+	}
+	entries, _, misses, evictions := srv.CacheStats()
+	if entries != 2 {
+		t.Errorf("cache holds %d entries, want bound 2", entries)
+	}
+	if misses != 4 || evictions != 2 {
+		t.Errorf("misses=%d evictions=%d, want 4/2", misses, evictions)
+	}
+}
+
+// TestRequestTimeout: a request whose deadline lapses while waiting
+// for a worker slot returns 504 without computing.
+func TestRequestTimeout(t *testing.T) {
+	srv := New(Config{Workers: 1, RequestTimeout: 30 * time.Millisecond})
+	h := srv.Handler()
+	// Occupy the single worker slot.
+	srv.sem <- struct{}{}
+	defer func() { <-srv.sem }()
+	code, _, body := post(t, h, "/v1/plan", testRequest("concurrent", "predicted", "multilevel"))
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d (%s), want 504", code, body)
+	}
+}
+
+// TestServerClose: after Close, queries fail fast with 503.
+func TestServerClose(t *testing.T) {
+	srv := New(Config{})
+	h := srv.Handler()
+	srv.Close()
+	code, _, _ := post(t, h, "/v1/plan", testRequest("concurrent", "predicted", "multilevel"))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d after Close, want 503", code)
+	}
+}
+
+// TestConcurrentBurst hammers one warm server from many goroutines
+// with a mix of hit and miss queries; run under -race in CI. All
+// responses for the same body must be byte-identical.
+func TestConcurrentBurst(t *testing.T) {
+	srv := New(Config{})
+	h := srv.Handler()
+	bodies := []string{
+		testRequest("concurrent", "predicted", "multilevel"),
+		testRequest("concurrent", "equal", "txyz"),
+		testRequest("sequential", "predicted", "oblivious"),
+	}
+	want := make([][]byte, len(bodies))
+	for i, b := range bodies {
+		code, _, resp := post(t, h, "/v1/plan", b)
+		if code != http.StatusOK {
+			t.Fatalf("warmup %d failed %d: %s", i, code, resp)
+		}
+		want[i] = resp
+	}
+	const workers, iters = 8, 20
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := (w + i) % len(bodies)
+				req := httptest.NewRequest("POST", "/v1/plan", strings.NewReader(bodies[k]))
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					errs <- fmt.Errorf("worker %d: status %d", w, rec.Code)
+					return
+				}
+				if !bytes.Equal(rec.Body.Bytes(), want[k]) {
+					errs <- fmt.Errorf("worker %d: response drifted for body %d", w, k)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestServeUntilGracefulShutdown exercises the real network path:
+// start, serve a query, cancel, drain, clean exit.
+func TestServeUntilGracefulShutdown(t *testing.T) {
+	srv := New(Config{})
+	bound, stop, err := StartServer("127.0.0.1:0", srv.Handler(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + bound
+	resp, err := http.Post(url+"/v1/plan", "application/json",
+		strings.NewReader(testRequest("concurrent", "predicted", "multilevel")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query over TCP failed %d: %s", resp.StatusCode, cold)
+	}
+	resp, err = http.Post(url+"/v1/plan", "application/json",
+		strings.NewReader(testRequest("concurrent", "predicted", "multilevel")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get(CacheHeader) != "hit" || !bytes.Equal(cold, hot) {
+		t.Error("cache hit over TCP not byte-identical")
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("graceful shutdown returned %v", err)
+	}
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Error("server still accepting connections after shutdown")
+	}
+}
+
+// TestServeUntilAlreadyCancelled covers ServeUntil directly with an
+// already-cancelled context: it must shut down cleanly without serving.
+func TestServeUntilAlreadyCancelled(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := ServeUntil(ctx, ln, http.NotFoundHandler(), time.Second); err != nil {
+		t.Fatalf("ServeUntil with cancelled context returned %v", err)
+	}
+}

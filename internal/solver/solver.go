@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"nestwrf/internal/mpi"
 	"nestwrf/internal/vtopo"
@@ -138,13 +139,16 @@ func newFluxLine(n int) *fluxLine {
 
 // reference selects the retained pre-PR5 slow paths (closure-based
 // kernel, per-message allocating halo exchange) used as the
-// bit-identity oracle for the fast paths. Only tests toggle this; it
-// must not be flipped while tiles are stepping.
-var reference bool
+// bit-identity oracle for the fast paths. The flag is atomic so that
+// toggling it (tests only) is race-free against concurrently stepping
+// tiles; both paths compute bit-identical fields, so whichever value a
+// step observes yields the same result.
+var reference atomic.Bool
 
 // SetReference enables (true) or disables (false) the retained
-// reference implementations of Step and Exchange.
-func SetReference(on bool) { reference = on }
+// reference implementations of Step and Exchange. Only tests should
+// call this.
+func SetReference(on bool) { reference.Store(on) }
 
 // Errors returned by the tile operations.
 var (
@@ -254,7 +258,7 @@ func (t *Tile) Step() {
 		t.stepRichtmyer()
 		return
 	}
-	if reference {
+	if reference.Load() {
 		t.stepLFReference()
 		return
 	}
@@ -479,7 +483,7 @@ func (t *Tile) unpackEdge(dir vtopo.Direction, data []float64) {
 // nonblocking reference path (total wait telescopes to the latest
 // arrival regardless of receive order).
 func (t *Tile) Exchange(c *mpi.Comm, grid vtopo.Grid) error {
-	if reference {
+	if reference.Load() {
 		return t.exchangeReference(c, grid)
 	}
 	me := c.Rank()

@@ -3,6 +3,7 @@ package wrfsim
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"nestwrf/internal/mpi"
 	"nestwrf/internal/nest"
@@ -57,12 +58,14 @@ func ownerIdx(n, parts, g int) int {
 // plans recomputed from scratch at every coupling step with fresh
 // allocations and copying sends, exactly as before the PR5 plan cache.
 // The fast and reference paths are bit-identical by construction and
-// guarded by equivalence tests. Only tests toggle this.
-var reference bool
+// guarded by equivalence tests. The flag is atomic so toggling it
+// (tests only) is race-free against concurrently running simulations.
+var reference atomic.Bool
 
 // SetReference enables (true) or disables (false) the retained
-// recompute-every-step coupling implementations.
-func SetReference(on bool) { reference = on }
+// recompute-every-step coupling implementations. Only tests should
+// call this.
+func SetReference(on bool) { reference.Store(on) }
 
 // bcTransfer is one (src, dst) message of the boundary-condition
 // exchange: parent cells read at src, halo cells written at dst.
@@ -137,7 +140,7 @@ func bcPattern(cfg *nest.Domain, grid vtopo.Grid, c *nest.Domain, cgrid vtopo.Gr
 // as the code did before the plan cache existed.
 func exchangeBC(world *mpi.Comm, grid vtopo.Grid, parent *solver.Tile, nc *nestCtx, cfg *nest.Domain) error {
 	pattern, pooled := nc.bcPlan, true
-	if reference {
+	if reference.Load() {
 		pattern, pooled = bcPattern(cfg, grid, nc.d, nc.grid, nc.world), false
 	}
 	me := world.Rank()
@@ -373,7 +376,7 @@ func buildFBPlan(cfg *nest.Domain, grid vtopo.Grid, c *nest.Domain, cgrid vtopo.
 // path rebuilds the plan and allocates afresh at every call.
 func exchangeFeedback(world *mpi.Comm, grid vtopo.Grid, parent *solver.Tile, nc *nestCtx, cfg *nest.Domain) error {
 	tag := tagFeedback + nc.idx
-	if reference {
+	if reference.Load() {
 		plan := buildFBPlan(cfg, grid, nc.d, nc.grid, nc.world)
 		payloads := make([][]float64, len(plan.transfers))
 		return runFeedback(world, parent, nc, plan, payloads, tag, false)

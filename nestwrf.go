@@ -124,8 +124,21 @@ const (
 )
 
 // ParseIOMode parses an I/O mode name ("pnetcdf"/"collective" or
-// "split"), the inverse of the mode's String.
+// "split", any case), the inverse of the mode's String.
 func ParseIOMode(s string) (iosim.Mode, error) { return iosim.ParseMode(s) }
+
+// ParseStrategy parses a strategy name ("sequential" or "concurrent",
+// any case), the inverse of the strategy's String.
+func ParseStrategy(s string) (Strategy, error) { return driver.ParseStrategy(s) }
+
+// ParseMapKind parses a mapping name ("oblivious", "txyz", "partition"
+// or "multilevel", any case), the inverse of the kind's String.
+func ParseMapKind(s string) (MapKind, error) { return driver.ParseMapKind(s) }
+
+// ParseAllocPolicy parses an allocation-policy name ("predicted",
+// "naive-points", "equal" or "strips-predicted", any case), the
+// inverse of the policy's String.
+func ParseAllocPolicy(s string) (AllocPolicy, error) { return driver.ParseAllocPolicy(s) }
 
 // Predictor is the interpolation-based performance model of
 // Section 3.1.
@@ -151,60 +164,35 @@ type ExecutionPlan struct {
 }
 
 // MappingReport summarizes the communication locality of one mapping.
-type MappingReport struct {
-	ParentAvgHops  float64
-	SiblingAvgHops []float64
-	OverallAvgHops float64
-}
+type MappingReport = driver.MappingQuality
+
+// FullPlan is the reusable, immutable plan value behind Plan and the
+// plan server: partitions and mapping quality plus the predicted cost
+// of executing the configuration under specific options.
+type FullPlan = driver.Plan
+
+// BuildPlan runs the complete planning pipeline (prediction,
+// allocation, mapping analysis, cost prediction) for cfg under the
+// given options. The returned plan is immutable and safe to share
+// across goroutines.
+func BuildPlan(cfg *Domain, opt Options) (*FullPlan, error) { return driver.BuildPlan(cfg, opt) }
 
 // Plan runs performance prediction, processor allocation and mapping
 // analysis for cfg on the given machine and rank count.
 func Plan(cfg *Domain, m Machine, ranks int) (*ExecutionPlan, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	pred, err := TrainPredictor(m)
-	if err != nil {
-		return nil, err
-	}
-	g, err := machine.GridFor(ranks)
-	if err != nil {
-		return nil, err
-	}
-	tor, err := machine.TorusFor(ranks)
-	if err != nil {
-		return nil, err
-	}
-	weights := pred.Weights(cfg.Children)
-	rects, err := alloc.Partition(weights, g.Px, g.Py)
+	p, err := driver.BuildPlan(cfg, driver.Options{
+		Machine:  m,
+		Ranks:    ranks,
+		Strategy: driver.Concurrent,
+		Alloc:    driver.AllocPredicted,
+	})
 	if err != nil {
 		return nil, err
 	}
 	plan := &ExecutionPlan{
-		Ranks: ranks, Px: g.Px, Py: g.Py,
-		Weights: weights, Rects: rects,
-		MappingReports: map[string]MappingReport{},
-	}
-	maps := map[string]func() (*mapping.Mapping, error){
-		"oblivious":  func() (*mapping.Mapping, error) { return mapping.Sequential(g, tor) },
-		"txyz":       func() (*mapping.Mapping, error) { return mapping.TXYZ(g, tor, m.CoresPerNode) },
-		"partition":  func() (*mapping.Mapping, error) { return mapping.PartitionMapping(g, tor, rects) },
-		"multilevel": func() (*mapping.Mapping, error) { return mapping.MultiLevel(g, tor) },
-	}
-	for name, build := range maps {
-		mp, err := build()
-		if err != nil {
-			continue // e.g. non-foldable shapes: report what is feasible
-		}
-		rep, err := mapping.Analyze(mp, rects)
-		if err != nil {
-			return nil, err
-		}
-		plan.MappingReports[name] = MappingReport{
-			ParentAvgHops:  rep.ParentAvg,
-			SiblingAvgHops: rep.SiblingAvg,
-			OverallAvgHops: rep.OverallAvg,
-		}
+		Ranks: p.Ranks, Px: p.Px, Py: p.Py,
+		Weights: p.Weights, Rects: p.Rects,
+		MappingReports: p.Mapping,
 	}
 	return plan, nil
 }
