@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nestwrf/internal/ensemble"
+)
+
+// runJSON invokes the CLI entry point with -json, returning the decoded
+// summary and raw aggregate bytes.
+func runJSON(t *testing.T, args ...string) (ensemble.Summary, string) {
+	t.Helper()
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	if code := run(append(args, "-json"), out, os.Stderr); code != 0 {
+		t.Fatalf("run %v: exit %d", args, code)
+	}
+	raw, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum ensemble.Summary
+	if err := json.Unmarshal(raw, &sum); err != nil {
+		t.Fatalf("bad summary JSON %q: %v", raw, err)
+	}
+	agg, err := json.Marshal(sum.Aggregates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sum, string(agg)
+}
+
+// The CLI's kill/resume path must reproduce an uninterrupted run's
+// aggregates exactly.
+func TestKillResumeReproducesAggregates(t *testing.T) {
+	base := []string{"-members", "90", "-steps", "5", "-seed", "13", "-workers", "4"}
+	full, fullAgg := runJSON(t, base...)
+	if full.Committed != 90 || full.Stopped {
+		t.Fatalf("full run: %+v", full)
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "c.ckpt")
+	stopped, _ := runJSON(t, append(base, "-checkpoint", ckpt, "-checkpoint-every", "8", "-stop-after", "33")...)
+	if !stopped.Stopped || stopped.Committed != 33 {
+		t.Fatalf("stopped run: %+v", stopped)
+	}
+	resumed, resumedAgg := runJSON(t, append(base, "-checkpoint", ckpt)...)
+	if resumed.ResumedFrom != 33 || resumed.Committed != 90 {
+		t.Fatalf("resumed run: %+v", resumed)
+	}
+	if fullAgg != resumedAgg {
+		t.Errorf("resume diverged:\nfull:    %s\nresumed: %s", fullAgg, resumedAgg)
+	}
+
+	// -fresh discards the checkpoint and starts over.
+	freshRun, freshAgg := runJSON(t, append(base, "-checkpoint", ckpt, "-fresh")...)
+	if freshRun.ResumedFrom != 0 || freshRun.Committed != 90 {
+		t.Fatalf("fresh run: %+v", freshRun)
+	}
+	if freshAgg != fullAgg {
+		t.Error("fresh rerun diverged from original")
+	}
+}
+
+func TestBadFlagsFail(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if code := run([]string{"-gen", "chaos", "-members", "5"}, devnull, devnull); code == 0 {
+		t.Error("unknown generator accepted")
+	}
+	if code := run([]string{"-members", "0"}, devnull, devnull); code == 0 {
+		t.Error("zero members accepted")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 
+	"nestwrf/internal/alloc"
 	"nestwrf/internal/driver"
 	"nestwrf/internal/nest"
 )
@@ -61,20 +62,43 @@ func (r Result) ImprovementPct() float64 {
 var (
 	ErrNoPhases = errors.New("campaign: no phases")
 	ErrBadSteps = errors.New("campaign: phase steps must be positive")
+	// ErrBadOptions reports options the redistribution model cannot
+	// work with: a zero rank count or torus bandwidth would divide the
+	// transferred bytes by zero and report +Inf/NaN campaign times.
+	ErrBadOptions = errors.New("campaign: bad options")
 )
 
 // StateBytesPerPoint is the nest state volume that must move when a
 // nest's partition changes (full prognostic state, all levels).
 const StateBytesPerPoint = 4500.0
 
+// Runner executes one phase configuration under one set of options.
+// Run uses driver.Run; the ensemble engine substitutes a plan-cache-
+// backed runner so repeated phase geometries across campaign members
+// are simulated once.
+type Runner func(cfg *nest.Domain, opt driver.Options) (driver.Result, error)
+
 // Run executes the campaign under both strategies with the given base
 // options (Strategy is set per run; everything else is honoured).
 func Run(phases []Phase, opt driver.Options) (Result, error) {
+	return RunWith(phases, opt, driver.Run)
+}
+
+// RunWith is Run with a pluggable phase runner (nil falls back to
+// driver.Run).
+func RunWith(phases []Phase, opt driver.Options, run Runner) (Result, error) {
 	if len(phases) == 0 {
 		return Result{}, ErrNoPhases
 	}
+	if err := opt.Validate(); err != nil {
+		return Result{}, fmt.Errorf("%w: %w", ErrBadOptions, err)
+	}
+	if run == nil {
+		run = driver.Run
+	}
 	var res Result
-	prevKey := "" // previous partition layout, for change detection
+	var prevRects []alloc.Rect // previous partition layout, for change detection
+	havePrev := false
 	for i, ph := range phases {
 		if ph.Steps <= 0 {
 			return Result{}, fmt.Errorf("%w: phase %d", ErrBadSteps, i)
@@ -82,13 +106,13 @@ func Run(phases []Phase, opt driver.Options) (Result, error) {
 		seqOpt := opt
 		seqOpt.Strategy = driver.Sequential
 		seqOpt.MapKind = driver.MapSequential
-		seq, err := driver.Run(ph.Config, seqOpt)
+		seq, err := run(ph.Config, seqOpt)
 		if err != nil {
 			return Result{}, fmt.Errorf("phase %d (%s): %w", i, ph.Config.Name, err)
 		}
 		conOpt := opt
 		conOpt.Strategy = driver.Concurrent
-		con, err := driver.Run(ph.Config, conOpt)
+		con, err := run(ph.Config, conOpt)
 		if err != nil {
 			return Result{}, fmt.Errorf("phase %d (%s): %w", i, ph.Config.Name, err)
 		}
@@ -99,9 +123,8 @@ func Run(phases []Phase, opt driver.Options) (Result, error) {
 		// bisection-ish capacity; a simple aggregate-bandwidth model
 		// (#ranks/4 concurrent links) captures the scale.
 		redist := 0.0
-		key := fmt.Sprintf("%v", con.Rects)
-		if key != prevKey {
-			if prevKey != "" {
+		if !havePrev || !rectsEqual(prevRects, con.Rects) {
+			if havePrev {
 				res.Replans++
 				var bytes float64
 				for _, c := range ph.Config.Children {
@@ -110,7 +133,8 @@ func Run(phases []Phase, opt driver.Options) (Result, error) {
 				agg := opt.Machine.Net.Bandwidth * float64(opt.Ranks) / 4
 				redist = bytes/agg + opt.Machine.Net.Overhead*float64(len(ph.Config.Children))
 			}
-			prevKey = key
+			prevRects = con.Rects
+			havePrev = true
 		}
 
 		res.Phases = append(res.Phases, PhaseResult{
@@ -125,6 +149,22 @@ func Run(phases []Phase, opt driver.Options) (Result, error) {
 		res.TotalConcurrent += float64(ph.Steps)*con.IterTime + redist
 	}
 	return res, nil
+}
+
+// rectsEqual reports whether two partition layouts are identical
+// rect-for-rect. Comparing the slices directly (rather than a
+// formatted rendering) keeps layout-change detection exact and
+// allocation-free.
+func rectsEqual(a, b []alloc.Rect) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Season builds a typical typhoon-season storyline on the Pacific

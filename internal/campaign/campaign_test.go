@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 
+	"nestwrf/internal/alloc"
 	"nestwrf/internal/driver"
 	"nestwrf/internal/machine"
 	"nestwrf/internal/nest"
@@ -131,5 +132,76 @@ func TestRedistributionMagnitude(t *testing.T) {
 func TestImprovementPctZeroGuard(t *testing.T) {
 	if (Result{}).ImprovementPct() != 0 {
 		t.Error("zero totals should give 0")
+	}
+}
+
+// Options whose redistribution model would divide by zero must be
+// rejected up front with a typed error instead of reporting +Inf/NaN
+// campaign times.
+func TestInvalidOptionsRejected(t *testing.T) {
+	cfg := nest.Root("p", 286, 307)
+	cfg.AddChild("c", 200, 200, 3, 10, 10)
+	phases := []Phase{{Steps: 1, Config: cfg}, {Steps: 1, Config: cfg}}
+
+	zeroRanks := opts(t)
+	zeroRanks.Ranks = 0
+	if _, err := Run(phases, zeroRanks); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("zero ranks: %v", err)
+	} else if !errors.Is(err, driver.ErrBadRanks) {
+		t.Errorf("zero ranks should carry the driver cause: %v", err)
+	}
+
+	zeroBW := opts(t)
+	zeroBW.Machine.Net.Bandwidth = 0
+	if _, err := Run(phases, zeroBW); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("zero bandwidth: %v", err)
+	} else if !errors.Is(err, driver.ErrBadMachine) {
+		t.Errorf("zero bandwidth should carry the driver cause: %v", err)
+	}
+}
+
+// An unchanged layout must not replan even when the comparison crosses
+// distinct (but geometrically equal) Rect slices.
+func TestRectsEqual(t *testing.T) {
+	a := []alloc.Rect{{X: 0, Y: 0, W: 16, H: 32}, {X: 16, Y: 0, W: 16, H: 32}}
+	b := []alloc.Rect{{X: 0, Y: 0, W: 16, H: 32}, {X: 16, Y: 0, W: 16, H: 32}}
+	if !rectsEqual(a, b) {
+		t.Error("equal layouts compared unequal")
+	}
+	if rectsEqual(a, b[:1]) {
+		t.Error("length mismatch compared equal")
+	}
+	c := append([]alloc.Rect(nil), b...)
+	c[1].X = 17
+	if rectsEqual(a, c) {
+		t.Error("shifted rect compared equal")
+	}
+	if !rectsEqual(nil, nil) {
+		t.Error("nil layouts should compare equal")
+	}
+}
+
+// RunWith must feed every phase run through the supplied runner and
+// reproduce Run's output when the runner is driver.Run itself.
+func TestRunWithCustomRunner(t *testing.T) {
+	phases := Season(10)
+	base, err := Run(phases, opts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	res, err := RunWith(phases, opts(t), func(cfg *nest.Domain, opt driver.Options) (driver.Result, error) {
+		calls++
+		return driver.Run(cfg, opt)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(phases); calls != want {
+		t.Errorf("runner called %d times, want %d", calls, want)
+	}
+	if res.TotalDefault != base.TotalDefault || res.TotalConcurrent != base.TotalConcurrent ||
+		res.Replans != base.Replans {
+		t.Errorf("RunWith diverged from Run: %+v vs %+v", res, base)
 	}
 }

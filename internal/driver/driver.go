@@ -184,7 +184,26 @@ func (r Result) Total() float64 { return r.IterTime + r.IOTime }
 var (
 	ErrBadRanks   = errors.New("driver: rank count must be positive")
 	ErrNoSiblings = errors.New("driver: concurrent strategy needs at least one nest")
+	ErrBadMachine = errors.New("driver: machine model incomplete")
 )
+
+// Validate reports whether the options can drive runs whose derived
+// quantities stay finite. Run itself only requires a positive rank
+// count, but layers that build arithmetic on top of run results — the
+// campaign redistribution model divides by Bandwidth*Ranks, the
+// ensemble engine aggregates thousands of members — call Validate up
+// front so a zero bandwidth or rank count surfaces as a typed error
+// instead of Inf/NaN in the output.
+func (o Options) Validate() error {
+	if o.Ranks <= 0 {
+		return fmt.Errorf("%w: ranks=%d", ErrBadRanks, o.Ranks)
+	}
+	if !(o.Machine.Net.Bandwidth > 0) {
+		return fmt.Errorf("%w: %q has torus bandwidth %v", ErrBadMachine,
+			o.Machine.Name, o.Machine.Net.Bandwidth)
+	}
+	return nil
+}
 
 // TrainPredictor fits the interpolation model from the machine's cost
 // model on the default basis, profiled on a fixed 64-rank grid — the

@@ -3,6 +3,7 @@ package driver
 import (
 	"errors"
 	"fmt"
+	"math"
 	"reflect"
 	"strings"
 	"testing"
@@ -452,5 +453,29 @@ func TestExtremeSkew(t *testing.T) {
 	if res.Siblings[0].Ranks <= res.Siblings[1].Ranks {
 		t.Errorf("huge sibling got %d ranks vs tiny's %d",
 			res.Siblings[0].Ranks, res.Siblings[1].Ranks)
+	}
+}
+
+// Validate must reject the option shapes that turn derived arithmetic
+// (campaign redistribution, ensemble aggregates) into Inf/NaN.
+func TestOptionsValidate(t *testing.T) {
+	good := Options{Machine: machine.BGL(), Ranks: 256}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+	bad := good
+	bad.Ranks = 0
+	if err := bad.Validate(); !errors.Is(err, ErrBadRanks) {
+		t.Errorf("zero ranks: %v", err)
+	}
+	bad = good
+	bad.Machine.Net.Bandwidth = 0
+	if err := bad.Validate(); !errors.Is(err, ErrBadMachine) {
+		t.Errorf("zero bandwidth: %v", err)
+	}
+	bad = good
+	bad.Machine.Net.Bandwidth = math.NaN()
+	if err := bad.Validate(); !errors.Is(err, ErrBadMachine) {
+		t.Errorf("NaN bandwidth: %v", err)
 	}
 }

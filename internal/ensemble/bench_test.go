@@ -1,0 +1,33 @@
+package ensemble
+
+import (
+	"context"
+	"testing"
+
+	"nestwrf/internal/planserve"
+)
+
+// BenchmarkCampaign1000 measures a cache-warm 1000-member mixed
+// campaign: the first (untimed) run populates the shared plan cache,
+// so the steady-state figure reflects member realization, cache
+// lookups and streaming aggregation rather than planning.
+func BenchmarkCampaign1000(b *testing.B) {
+	spec := Spec{Generator: GenMixed, Members: 1000, Seed: 11, StepsPerPhase: 10}
+	cache := planserve.NewPlanCache(8192)
+	defer cache.Close()
+	ctx := context.Background()
+	warm := &Engine{Spec: spec, Workers: 8, Cache: cache}
+	if _, err := warm.Run(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var perSec float64
+	for i := 0; i < b.N; i++ {
+		sum, err := (&Engine{Spec: spec, Workers: 8, Cache: cache}).Run(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		perSec = sum.MembersPerSec
+	}
+	b.ReportMetric(perSec, "members/sec")
+}

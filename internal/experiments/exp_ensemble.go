@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"nestwrf/internal/ensemble"
+	"nestwrf/internal/planserve"
+)
+
+func init() {
+	register("ensemble", "Ensemble campaigns: perturbed-scenario families with streaming aggregate statistics", ensembleExp)
+}
+
+// ensembleExp runs one campaign per generator family and tabulates the
+// streamed aggregates: the concurrent strategy's gain distribution over
+// storm-track jitter, sampled nest hierarchies, and machine/allocation
+// sweeps. The table reports the plan cache's distinct-geometry count —
+// the quantized jitter space means a family of members shares a much
+// smaller set of plans.
+func ensembleExp() (*Table, error) {
+	t := &Table{
+		ID:    "ensemble",
+		Title: "Perturbed-scenario ensembles on 512 ranks (36 members per family, streamed aggregates)",
+		Header: []string{"family", "members", "mean gain", "p10 gain", "median gain",
+			"p90 gain", "distinct plans"},
+	}
+	for _, gen := range []string{ensemble.GenSeason, ensemble.GenHierarchy, ensemble.GenSweep} {
+		// A fresh cache per family keeps the distinct-plan column (cache
+		// misses) a deterministic property of the family itself.
+		cache := planserve.NewPlanCache(4096)
+		eng := &ensemble.Engine{
+			Spec: ensemble.Spec{
+				Generator:     gen,
+				Members:       36,
+				Seed:          7,
+				Ranks:         512,
+				StepsPerPhase: 10,
+			},
+			Workers: 4,
+			Cache:   cache,
+		}
+		sum, err := eng.Run(context.Background())
+		cache.Close()
+		if err != nil {
+			return nil, err
+		}
+		imp := sum.Aggregates.ImprovementPct
+		p10, err := imp.Quantile(0.1)
+		if err != nil {
+			return nil, err
+		}
+		p50, err := imp.Quantile(0.5)
+		if err != nil {
+			return nil, err
+		}
+		p90, err := imp.Quantile(0.9)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(gen, fmt.Sprintf("%d", sum.Committed),
+			pct(imp.Mean), pct(p10), pct(p50), pct(p90),
+			fmt.Sprintf("%d", sum.CacheMisses))
+	}
+	t.AddNote("members stream into P² quantile and Welford mean/variance accumulators: memory stays O(1) in campaign size, and checkpointed runs resume to bit-identical aggregates")
+	t.AddNote("the jitter space is quantized, so each family re-plans far fewer distinct geometries than it runs members — the shared plan cache turns ensembles from O(members) into O(distinct plans) planning work")
+	return t, nil
+}

@@ -117,6 +117,7 @@ var canonicalOrder = []string{
 	"periter", "fig8", "tab1", "tab2fig9", "fig10", "nsib", "tab3",
 	"tab4fig11", "tab5fig12", "fig1314", "alloceff", "fig15", "seasia",
 	"abl-contention", "abl-shape", "abl-exchanges", "bgq", "campaign", "steer",
+	"ensemble",
 }
 
 // All returns the registered experiments in the paper's presentation

@@ -14,7 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig2", "predict", "fig3", "fig4", "fig56", "abl-contention", "abl-shape", "abl-exchanges", "bgq", "campaign", "seasia", "steer",
 		"periter", "fig8", "tab1", "tab2fig9", "fig10", "nsib", "tab3",
-		"tab4fig11", "tab5fig12", "fig1314", "alloceff", "fig15",
+		"tab4fig11", "tab5fig12", "fig1314", "alloceff", "fig15", "ensemble",
 	}
 	ids := IDs()
 	have := map[string]bool{}

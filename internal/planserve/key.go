@@ -2,6 +2,7 @@ package planserve
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"nestwrf/internal/driver"
@@ -25,6 +26,18 @@ func cacheKey(prefix string, m machine.Machine, opt driver.Options, cfg *nest.Do
 	fmt.Fprintf(&b, "|r=%d|s=%d|a=%d|m=%d|io=%d|oe=%d|nc=%t|",
 		opt.Ranks, opt.Strategy, opt.Alloc, opt.MapKind,
 		opt.IOMode, opt.OutputEverySteps, opt.NoContention)
+	// FixedWeights bypass the predictor and change the allocation, so
+	// they are part of the plan identity. HTTP requests never carry
+	// them (the segment is absent for the empty slice, keeping server
+	// keys unchanged); in-process PlanCache users — the steering
+	// controller, ensemble members — may.
+	if len(opt.FixedWeights) > 0 {
+		b.WriteString("w=")
+		for _, w := range opt.FixedWeights {
+			fmt.Fprintf(&b, "%x,", math.Float64bits(w))
+		}
+		b.WriteByte('|')
+	}
 	writeDomainKey(&b, cfg)
 	return b.String()
 }

@@ -1,0 +1,74 @@
+package planserve
+
+import (
+	"context"
+
+	"nestwrf/internal/driver"
+	"nestwrf/internal/nest"
+)
+
+// PlanCache is the plan cache behind the HTTP server, exported for
+// in-process embedding: engines that evaluate many scenarios — the
+// ensemble campaign engine foremost — share one PlanCache so repeated
+// geometries plan once, with singleflight deduplication when several
+// workers ask for the same geometry concurrently.
+//
+// Entries are keyed by the same canonical name-free key the server
+// uses (machine identity + options + domain geometry, sibling order
+// preserved), so renamed but geometrically identical scenarios share
+// one entry. Cached values are immutable by contract: callers must
+// treat the slices inside a returned Result or Plan as read-only.
+type PlanCache struct {
+	c *cache
+}
+
+// NewPlanCache returns a cache bounded to maxEntries (min 1).
+func NewPlanCache(maxEntries int) *PlanCache {
+	return &PlanCache{c: newCache(maxEntries)}
+}
+
+// Run returns driver.Run's result for cfg under opt, computing it at
+// most once per canonical key. hit reports whether the result came
+// from the cache without waiting on any computation. The options'
+// Predictor and Metrics fields are not part of the key: predictors are
+// deterministic per machine identity (pass nil or the machine's
+// cached predictor), and metrics do not change results.
+func (p *PlanCache) Run(ctx context.Context, cfg *nest.Domain, opt driver.Options) (driver.Result, bool, error) {
+	key := cacheKey("run|", opt.Machine, opt, cfg)
+	v, hit, err := p.c.Do(ctx, key, func() (any, error) {
+		res, err := driver.Run(cfg, opt)
+		if err != nil {
+			return nil, err
+		}
+		return &res, nil
+	})
+	if err != nil {
+		return driver.Result{}, hit, err
+	}
+	return *(v.(*driver.Result)), hit, nil
+}
+
+// Plan returns driver.BuildPlan's output for cfg under opt, computing
+// it at most once per canonical key.
+func (p *PlanCache) Plan(ctx context.Context, cfg *nest.Domain, opt driver.Options) (*driver.Plan, bool, error) {
+	key := cacheKey("plan|", opt.Machine, opt, cfg)
+	v, hit, err := p.c.Do(ctx, key, func() (any, error) {
+		return driver.BuildPlan(cfg, opt)
+	})
+	if err != nil {
+		return nil, hit, err
+	}
+	return v.(*driver.Plan), hit, nil
+}
+
+// Len returns the number of resident entries.
+func (p *PlanCache) Len() int { return p.c.Len() }
+
+// Stats returns cumulative hit/miss/eviction counts. Misses count
+// distinct computed keys (joiners of an in-flight computation count
+// as neither), so on an eviction-free run Misses equals the number of
+// distinct geometries planned.
+func (p *PlanCache) Stats() (hits, misses, evictions uint64) { return p.c.Stats() }
+
+// Close empties the cache; further calls fail with ErrCacheClosed.
+func (p *PlanCache) Close() { p.c.Close() }

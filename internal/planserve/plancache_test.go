@@ -1,0 +1,141 @@
+package planserve
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"nestwrf/internal/driver"
+	"nestwrf/internal/machine"
+	"nestwrf/internal/nest"
+)
+
+func cacheCfg() *nest.Domain {
+	cfg := nest.Root("p", 286, 307)
+	cfg.AddChild("a", 394, 418, 3, 5, 5)
+	cfg.AddChild("b", 232, 202, 3, 150, 10)
+	return cfg
+}
+
+func cacheOpt() driver.Options {
+	return driver.Options{
+		Machine:  machine.BGL(),
+		Ranks:    256,
+		Strategy: driver.Concurrent,
+		Alloc:    driver.AllocPredicted,
+		MapKind:  driver.MapSequential,
+	}
+}
+
+func TestPlanCacheRunHitsAndIdentity(t *testing.T) {
+	pc := NewPlanCache(16)
+	ctx := context.Background()
+	cold, hit, err := pc.Run(ctx, cacheCfg(), cacheOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first query reported a hit")
+	}
+	warm, hit, err := pc.Run(ctx, cacheCfg(), cacheOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("second query missed")
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Errorf("cached result differs:\ncold %+v\nwarm %+v", cold, warm)
+	}
+	// Renaming domains must not change the key.
+	renamed := cacheCfg()
+	renamed.Children[0].Name = "typhoon-renamed"
+	if _, hit, err = pc.Run(ctx, renamed, cacheOpt()); err != nil || !hit {
+		t.Errorf("renamed geometry should hit: hit=%v err=%v", hit, err)
+	}
+	// A different strategy is a different plan.
+	seq := cacheOpt()
+	seq.Strategy = driver.Sequential
+	if _, hit, err = pc.Run(ctx, cacheCfg(), seq); err != nil || hit {
+		t.Errorf("different strategy should miss: hit=%v err=%v", hit, err)
+	}
+	hits, misses, _ := pc.Stats()
+	if hits != 2 || misses != 2 {
+		t.Errorf("stats hits=%d misses=%d, want 2/2", hits, misses)
+	}
+}
+
+// FixedWeights change the allocation, so they must be part of the
+// cache identity: two queries differing only in weights must not share
+// an entry.
+func TestPlanCacheFixedWeightsKeyed(t *testing.T) {
+	pc := NewPlanCache(16)
+	ctx := context.Background()
+	opt := cacheOpt()
+	opt.FixedWeights = []float64{0.7, 0.3}
+	skewed, hit, err := pc.Run(ctx, cacheCfg(), opt)
+	if err != nil || hit {
+		t.Fatalf("first weighted query: hit=%v err=%v", hit, err)
+	}
+	opt.FixedWeights = []float64{0.5, 0.5}
+	even, hit, err := pc.Run(ctx, cacheCfg(), opt)
+	if err != nil || hit {
+		t.Fatalf("second weighted query should miss: hit=%v err=%v", hit, err)
+	}
+	if reflect.DeepEqual(skewed.Rects, even.Rects) {
+		t.Errorf("different weights produced identical partitions: %v", skewed.Rects)
+	}
+}
+
+func TestPlanCachePlanEndpointAndClose(t *testing.T) {
+	pc := NewPlanCache(16)
+	ctx := context.Background()
+	p1, hit, err := pc.Plan(ctx, cacheCfg(), cacheOpt())
+	if err != nil || hit {
+		t.Fatalf("cold plan: hit=%v err=%v", hit, err)
+	}
+	p2, hit, err := pc.Plan(ctx, cacheCfg(), cacheOpt())
+	if err != nil || !hit {
+		t.Fatalf("warm plan: hit=%v err=%v", hit, err)
+	}
+	if p1 != p2 {
+		t.Error("warm plan is not the shared cached pointer")
+	}
+	pc.Close()
+	if _, _, err := pc.Plan(ctx, cacheCfg(), cacheOpt()); !errors.Is(err, ErrCacheClosed) {
+		t.Errorf("closed cache: %v", err)
+	}
+}
+
+// Concurrent identical queries must resolve to one computation and
+// identical results (singleflight through the exported wrapper).
+func TestPlanCacheConcurrentRun(t *testing.T) {
+	pc := NewPlanCache(16)
+	ctx := context.Background()
+	const n = 16
+	results := make([]driver.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _, errs[i] = pc.Run(ctx, cacheCfg(), cacheOpt())
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Errorf("query %d diverged", i)
+		}
+	}
+	_, misses, _ := pc.Stats()
+	if misses != 1 {
+		t.Errorf("%d misses for one distinct key", misses)
+	}
+}

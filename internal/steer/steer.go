@@ -47,8 +47,13 @@ type Round struct {
 // Outcome reports a steering session.
 type Outcome struct {
 	Rounds []Round
-	// Final is the last round's result.
+	// Final is the best-observed round's result: the lowest iteration
+	// time seen across the session. A steering step that overshoots in
+	// the last round therefore cannot drag the reported outcome below
+	// an earlier, faster round (Rounds keeps the full history).
 	Final driver.Result
+	// BestRound is the index into Rounds that Final came from.
+	BestRound int
 	// Converged reports whether the imbalance fell below the threshold
 	// within MaxRounds.
 	Converged bool
@@ -92,6 +97,18 @@ func measuredWeights(res driver.Result) []float64 {
 	for i, s := range res.Siblings {
 		w[i] = s.PhaseTime * float64(s.Ranks)
 		sum += w[i]
+	}
+	if sum == 0 {
+		// All sibling phase times were zero (a degenerate cost model or
+		// empty siblings): dividing by the zero sum would make every
+		// weight NaN, which the next round would feed back through
+		// FixedWeights and poison the allocation. Fall back to uniform
+		// weights instead.
+		u := 1 / float64(len(w))
+		for i := range w {
+			w[i] = u
+		}
+		return w
 	}
 	for i := range w {
 		w[i] /= sum
@@ -137,7 +154,13 @@ func (c Controller) Run(cfg *nest.Domain, opt driver.Options) (Outcome, error) {
 			IterTime:  res.IterTime,
 			Imbalance: imb,
 		})
-		out.Final = res
+		// Keep the best-observed round as the outcome: a correction can
+		// overshoot, and a non-converged session must not report a
+		// worse-than-best final result.
+		if round == 0 || res.IterTime < out.Final.IterTime {
+			out.Final = res
+			out.BestRound = round
+		}
 		if imb <= c.Threshold {
 			out.Converged = true
 			return out, nil

@@ -2,6 +2,7 @@ package steer
 
 import (
 	"errors"
+	"math"
 	"testing"
 
 	"nestwrf/internal/driver"
@@ -113,5 +114,64 @@ func TestImbalanceShrinks(t *testing.T) {
 func TestOutcomeImprovementGuard(t *testing.T) {
 	if (Outcome{}).ImprovementPct() != 0 {
 		t.Error("empty outcome should give 0")
+	}
+}
+
+// All-zero sibling phase times must not produce NaN weights: the
+// controller falls back to uniform weights instead of dividing by a
+// zero sum (which used to poison FixedWeights in the next round).
+func TestMeasuredWeightsZeroPhaseTimes(t *testing.T) {
+	res := driver.Result{
+		Siblings: []driver.DomainMetrics{
+			{Name: "a", Ranks: 256, PhaseTime: 0},
+			{Name: "b", Ranks: 512, PhaseTime: 0},
+			{Name: "c", Ranks: 256, PhaseTime: 0},
+		},
+	}
+	w := measuredWeights(res)
+	if len(w) != 3 {
+		t.Fatalf("got %d weights", len(w))
+	}
+	var sum float64
+	for i, v := range w {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("weight %d is %v", i, v)
+		}
+		if v != w[0] {
+			t.Errorf("weights not uniform: %v", w)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("weights sum to %v", sum)
+	}
+}
+
+// A steering session must report the best-observed round as its final
+// result: the outcome's iteration time equals the minimum over the
+// recorded rounds, and BestRound points at it.
+func TestFinalIsBestObservedRound(t *testing.T) {
+	cfg := workload.Table2Config()
+	ctrl := DefaultController()
+	ctrl.MaxRounds = 6
+	out, err := ctrl.Run(cfg, opts(t, driver.AllocEqual))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := out.Rounds[0].IterTime
+	for _, r := range out.Rounds {
+		if r.IterTime < best {
+			best = r.IterTime
+		}
+	}
+	if out.Final.IterTime != best {
+		t.Errorf("Final.IterTime %.6f, best observed %.6f", out.Final.IterTime, best)
+	}
+	if out.BestRound < 0 || out.BestRound >= len(out.Rounds) ||
+		out.Rounds[out.BestRound].IterTime != best {
+		t.Errorf("BestRound %d does not point at the best round", out.BestRound)
+	}
+	if out.ImprovementPct() < 0 {
+		t.Errorf("improvement went negative: %.3f%%", out.ImprovementPct())
 	}
 }
