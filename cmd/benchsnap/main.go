@@ -7,6 +7,13 @@
 //
 //	go run ./cmd/benchsnap -bench 'PerIteration85|Table1Wait|AllExperimentsSequential' -o BENCH_4.json
 //
+// With -compare it re-runs the suite and diffs against a committed
+// snapshot, printing per-benchmark deltas and exiting non-zero when
+// any benchmark's ns/op or allocs/op regressed by more than -threshold
+// percent (default 15):
+//
+//	go run ./cmd/benchsnap -bench 'PerIteration85$' -compare BENCH_4.json
+//
 // By default it runs each benchmark for a single iteration
 // (-benchtime 1x), which is what the committed snapshots use: the
 // experiment benchmarks are long enough that one iteration is a stable
@@ -55,6 +62,8 @@ func main() {
 		benchtime = flag.String("benchtime", "1x", "value passed to go test -benchtime")
 		pkg       = flag.String("pkg", ".", "package to benchmark")
 		out       = flag.String("o", "", "output JSON file (default stdout)")
+		compare   = flag.String("compare", "", "baseline snapshot JSON; report deltas and exit 1 on regressions")
+		threshold = flag.Float64("threshold", 15, "regression threshold in percent for -compare")
 	)
 	flag.Parse()
 
@@ -74,15 +83,90 @@ func main() {
 		os.Exit(1)
 	}
 	data = append(data, '\n')
-	if *out == "" {
+	if *out == "" && *compare == "" {
 		os.Stdout.Write(data)
-		return
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchsnap:", err)
-		os.Exit(1)
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchsnap: wrote %d results to %s\n", len(snap.Results), *out)
 	}
-	fmt.Fprintf(os.Stderr, "benchsnap: wrote %d results to %s\n", len(snap.Results), *out)
+	if *compare != "" {
+		old, err := loadSnapshot(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		rows, regressions := compareSnapshots(old, snap, *threshold)
+		for _, row := range rows {
+			fmt.Println(row)
+		}
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "benchsnap: %d regression(s) beyond %.0f%% vs %s\n",
+				regressions, *threshold, *compare)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchsnap: no regressions beyond %.0f%% vs %s\n", *threshold, *compare)
+	}
+}
+
+// loadSnapshot reads a committed benchmark snapshot.
+func loadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// compareSnapshots diffs cur against old, one row per benchmark, and
+// counts regressions: benchmarks whose ns/op or allocs/op grew by more
+// than threshold percent. Benchmarks present on only one side are
+// reported but never counted — a renamed or new benchmark is not a
+// regression. Single-iteration snapshots are noisy, so the threshold
+// should stay coarse (the default 15% flags order-of-magnitude slips,
+// not jitter).
+func compareSnapshots(old, cur *Snapshot, threshold float64) (rows []string, regressions int) {
+	names := make([]string, 0, len(cur.Results))
+	for n := range cur.Results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	pct := func(was, now float64) float64 {
+		if was == 0 {
+			return 0
+		}
+		return 100 * (now - was) / was
+	}
+	for _, n := range names {
+		now := cur.Results[n]
+		was, ok := old.Results[n]
+		if !ok {
+			rows = append(rows, fmt.Sprintf("%-40s %12.0f ns/op  (new benchmark, no baseline)", n, now.NsPerOp))
+			continue
+		}
+		dns := pct(was.NsPerOp, now.NsPerOp)
+		dalloc := pct(float64(was.AllocsPerOp), float64(now.AllocsPerOp))
+		mark := ""
+		if dns > threshold || dalloc > threshold {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		rows = append(rows, fmt.Sprintf("%-40s %12.0f -> %12.0f ns/op (%+6.1f%%)  %6d -> %6d allocs/op (%+6.1f%%)%s",
+			n, was.NsPerOp, now.NsPerOp, dns, was.AllocsPerOp, now.AllocsPerOp, dalloc, mark))
+	}
+	for n := range old.Results {
+		if _, ok := cur.Results[n]; !ok {
+			rows = append(rows, fmt.Sprintf("%-40s (baseline only; not run)", n))
+		}
+	}
+	return rows, regressions
 }
 
 // runBench shells out to go test with run disabled so only benchmarks

@@ -23,6 +23,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -33,6 +36,7 @@ import (
 	"nestwrf/internal/metrics"
 	"nestwrf/internal/planserve"
 	"nestwrf/internal/stats"
+	"nestwrf/internal/telemetry"
 )
 
 func main() {
@@ -58,6 +62,13 @@ func run(args []string, stdout, stderr *os.File) int {
 	fresh := fs.Bool("fresh", false, "ignore an existing checkpoint and start over")
 	asJSON := fs.Bool("json", false, "emit the summary as JSON")
 	showMetrics := fs.Bool("metrics", false, "dump engine metrics to stderr")
+	traceOut := fs.String("trace-out", "",
+		"write a Chrome/Perfetto trace (campaign -> sampled members -> driver phases) to this file")
+	spansOut := fs.String("spans-out", "", "write the raw span dump (nestwrf/spans/v1 JSON) to this file")
+	traceSample := fs.Int("trace-sample", 100, "trace every Nth member (head sampling; 1 traces all)")
+	debugAddr := fs.String("debug-addr", "",
+		"serve GET /debug/progress and /metrics on this address while the campaign runs")
+	logLines := fs.Bool("log", false, "structured campaign logging (slog) to stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -75,6 +86,17 @@ func run(args []string, stdout, stderr *os.File) int {
 	cache := planserve.NewPlanCache(*cacheSize)
 	defer cache.Close()
 	reg := metrics.NewRegistry()
+	cache.Instrument(reg)
+
+	var tracer *telemetry.Tracer
+	if *traceOut != "" || *spansOut != "" {
+		tracer = telemetry.New(telemetry.Config{SampleEvery: *traceSample})
+	}
+	var logger *slog.Logger
+	if *logLines {
+		logger = slog.New(slog.NewTextHandler(stderr, nil))
+	}
+
 	eng := &ensemble.Engine{
 		Spec: ensemble.Spec{
 			Generator:     *gen,
@@ -91,8 +113,43 @@ func run(args []string, stdout, stderr *os.File) int {
 		CheckpointPath:  *checkpoint,
 		CheckpointEvery: *every,
 		StopAfter:       *stopAfter,
+		Tracer:          tracer,
+		Log:             logger,
 	}
+
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "ensemble: debug listen %s: %v\n", *debugAddr, err)
+			return 1
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /debug/progress", func(w http.ResponseWriter, _ *http.Request) {
+			p, ok := eng.Progress()
+			w.Header().Set("Content-Type", "application/json")
+			if !ok {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			_ = json.NewEncoder(w).Encode(p)
+		})
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = reg.Snapshot().WriteText(w)
+		})
+		fmt.Fprintf(stderr, "ensemble: live telemetry on http://%s/debug/progress\n", ln.Addr())
+		go func() { _ = http.Serve(ln, mux) }()
+	}
+
 	sum, err := eng.Run(ctx)
+	// Traces are worth writing even for failed or interrupted
+	// campaigns — that is when they are most needed.
+	if werr := writeTraces(tracer, *traceOut, *spansOut); werr != nil {
+		fmt.Fprintf(stderr, "ensemble: %v\n", werr)
+		if err == nil {
+			return 1
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(stderr, "ensemble: %v\n", err)
 		if errors.Is(err, context.Canceled) && *checkpoint != "" {
@@ -113,6 +170,41 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	printSummary(stdout, sum)
 	return 0
+}
+
+// writeTraces flushes the tracer to the requested output files. A nil
+// tracer (tracing disabled) writes nothing and returns nil.
+func writeTraces(tr *telemetry.Tracer, traceOut, spansOut string) error {
+	if tr == nil {
+		return nil
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteChrome(f, "ensemble campaign"); err != nil {
+			f.Close()
+			return fmt.Errorf("write trace %s: %w", traceOut, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if spansOut != "" {
+		f, err := os.Create(spansOut)
+		if err != nil {
+			return err
+		}
+		if err := tr.Dump().EncodeJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("write spans %s: %w", spansOut, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func printSummary(w *os.File, sum *ensemble.Summary) {

@@ -13,9 +13,10 @@
 //
 //	POST /v1/plan     full plan (weights, partitions, mapping quality, cost)
 //	POST /v1/compare  sequential-vs-concurrent comparison
-//	GET  /v1/stats    plan-cache occupancy and hit/miss counters
+//	GET  /v1/stats    plan-cache occupancy and hit/miss/join counters
 //	GET  /healthz     liveness
-//	GET  /metrics     request counters and latency histograms (text)
+//	GET  /metrics     request counters, latency histograms and quantile summaries (text)
+//	GET  /debug/progress  live request/cache effectiveness snapshot (JSON)
 //	GET  /debug/vars  expvar (includes the metrics snapshot)
 //	GET  /debug/pprof live profiling
 //
@@ -38,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
@@ -52,6 +54,7 @@ import (
 
 	"nestwrf/internal/metrics"
 	"nestwrf/internal/planserve"
+	"nestwrf/internal/telemetry"
 )
 
 func main() {
@@ -63,22 +66,36 @@ func main() {
 	loadgen := flag.String("loadgen", "", "run as a load-test client against this base URL instead of serving")
 	duration := flag.Duration("duration", 2*time.Second, "loadgen: how long to hammer")
 	concurrency := flag.Int("concurrency", 2*runtime.GOMAXPROCS(0), "loadgen: concurrent clients")
+	traceOut := flag.String("trace-out", "",
+		"on shutdown, write a Chrome/Perfetto trace (request -> cache lookup -> driver phases) to this file")
+	spansOut := flag.String("spans-out", "", "on shutdown, write the raw span dump (nestwrf/spans/v1 JSON) to this file")
+	logLines := flag.Bool("log", false, "structured request logging (slog) to stderr")
 	flag.Parse()
 
 	if *loadgen != "" {
 		os.Exit(runLoadgen(*loadgen, *duration, *concurrency))
 	}
-	os.Exit(serve(*addr, *cacheSize, *workers, *timeout, *grace))
+	os.Exit(serve(*addr, *cacheSize, *workers, *timeout, *grace, *traceOut, *spansOut, *logLines))
 }
 
 // serve runs the planning service until SIGINT/SIGTERM.
-func serve(addr string, cacheSize, workers int, timeout, grace time.Duration) int {
+func serve(addr string, cacheSize, workers int, timeout, grace time.Duration, traceOut, spansOut string, logLines bool) int {
 	reg := metrics.NewRegistry()
+	var tracer *telemetry.Tracer
+	if traceOut != "" || spansOut != "" {
+		tracer = telemetry.New(telemetry.Config{})
+	}
+	var logger *slog.Logger
+	if logLines {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 	srv := planserve.New(planserve.Config{
 		CacheSize:      cacheSize,
 		Workers:        workers,
 		RequestTimeout: timeout,
 		Metrics:        reg,
+		Tracer:         tracer,
+		Log:            logger,
 	})
 	defer srv.Close()
 
@@ -86,9 +103,11 @@ func serve(addr string, cacheSize, workers int, timeout, grace time.Duration) in
 	expvar.Publish("nestwrf_planserve_metrics", expvar.Func(func() any { return reg.Snapshot() }))
 
 	// The service mux handles its own routes; /debug/* (expvar, pprof)
-	// falls through to the default mux.
+	// falls through to the default mux, except /debug/progress, which
+	// the service itself serves and would otherwise be shadowed.
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
+	mux.Handle("GET /debug/progress", srv.Handler())
 	mux.Handle("/debug/", http.DefaultServeMux)
 
 	ln, err := net.Listen("tcp", addr)
@@ -105,9 +124,48 @@ func serve(addr string, cacheSize, workers int, timeout, grace time.Duration) in
 		return 1
 	}
 	entries, hits, misses, evictions := srv.CacheStats()
-	fmt.Fprintf(os.Stderr, "planserve: shut down cleanly (cache entries %d, hits %d, misses %d, evictions %d)\n",
-		entries, hits, misses, evictions)
+	fmt.Fprintf(os.Stderr, "planserve: shut down cleanly (cache entries %d, hits %d, misses %d, evictions %d, joins %d)\n",
+		entries, hits, misses, evictions, srv.CacheJoins())
+	if err := writeTraces(tracer, traceOut, spansOut); err != nil {
+		fmt.Fprintf(os.Stderr, "planserve: %v\n", err)
+		return 1
+	}
 	return 0
+}
+
+// writeTraces flushes the tracer to the requested output files. A nil
+// tracer (tracing disabled) writes nothing and returns nil.
+func writeTraces(tr *telemetry.Tracer, traceOut, spansOut string) error {
+	if tr == nil {
+		return nil
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteChrome(f, "planserve"); err != nil {
+			f.Close()
+			return fmt.Errorf("write trace %s: %w", traceOut, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if spansOut != "" {
+		f, err := os.Create(spansOut)
+		if err != nil {
+			return err
+		}
+		if err := tr.Dump().EncodeJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("write spans %s: %w", spansOut, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // loadgenBody is the canonical two-typhoon Pacific query (the paper's

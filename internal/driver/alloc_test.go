@@ -1,0 +1,51 @@
+package driver
+
+import (
+	"testing"
+
+	"nestwrf/internal/telemetry"
+	"nestwrf/internal/workload"
+)
+
+// The nil-tracer path through Run must be allocation-identical run to
+// run: with Options.Tracer nil the instrumentation compiles down to
+// nil checks that never allocate (the sequence itself is pinned at
+// zero allocations by the telemetry package's guard test), so two
+// measurements of the same uninstrumented Run must agree exactly —
+// any drift would mean the tracing hooks leak work onto the untraced
+// path. A traced run of the same query must differ only by emitting
+// spans.
+func TestRunNilTracerAllocParity(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	cfg := workload.Table2Config()
+	opt := bglOpts(Concurrent, MapMultiLevel)
+	run := func() {
+		if _, err := Run(cfg, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const runs = 10
+	first := testing.AllocsPerRun(runs, run)
+	second := testing.AllocsPerRun(runs, run)
+	if first != second {
+		t.Errorf("nil-tracer Run allocations unstable: %v vs %v allocs/run", first, second)
+	}
+
+	tr := telemetry.New(telemetry.Config{})
+	opt.Tracer = tr
+	traced := testing.AllocsPerRun(runs, run)
+	if traced < first {
+		t.Errorf("traced Run allocates less (%v) than untraced (%v)?", traced, first)
+	}
+	if tr.Len() == 0 {
+		t.Error("traced Run emitted no spans")
+	}
+	// One driver.run span plus one span per phase — a handful of
+	// allocations against Run's thousands. If tracing ever costs more
+	// than a sliver, the guards are mis-scoped.
+	if added := traced - first; added > 100 {
+		t.Errorf("tracing added %v allocs/run, want a small constant (<= 100)", added)
+	}
+}

@@ -11,6 +11,7 @@ package driver
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"nestwrf/internal/alloc"
 	"nestwrf/internal/iosim"
@@ -19,7 +20,9 @@ import (
 	"nestwrf/internal/metrics"
 	"nestwrf/internal/model"
 	"nestwrf/internal/nest"
+	"nestwrf/internal/netsim"
 	"nestwrf/internal/predict"
+	"nestwrf/internal/telemetry"
 	"nestwrf/internal/torus"
 	"nestwrf/internal/vtopo"
 )
@@ -138,6 +141,15 @@ type Options struct {
 	// (per-phase time breakdowns, link congestion, I/O volumes). Nil —
 	// the default — keeps all metric collection off the hot path.
 	Metrics *metrics.Registry
+
+	// Tracer, when non-nil, receives hierarchical wall-clock spans: one
+	// driver-layer span for the run, with a phase-layer child per phase
+	// cost evaluation. TraceParent links the run span under a caller
+	// span (a plan-cache lookup, a campaign member); zero makes it a
+	// root. A nil Tracer is a zero-alloc no-op, and neither field is
+	// part of any plan-cache key.
+	Tracer      *telemetry.Tracer
+	TraceParent telemetry.SpanID
 }
 
 // OutputBytesPerPoint is the forecast output volume per horizontal grid
@@ -237,7 +249,8 @@ type run struct {
 	waitMax []float64 // per-rank accumulated wait (worst-case comm)
 	hopNum  float64   // hops weighted by communicating rank-steps
 	hopDen  float64
-	rep     *reportBuilder // nil unless a report or metrics were requested
+	rep     *reportBuilder   // nil unless a report or metrics were requested
+	span    telemetry.SpanID // the run span phase spans parent under
 }
 
 // predictor returns the run's predictor, resolving the shared cached
@@ -271,12 +284,29 @@ func RunWithReport(cfg *nest.Domain, opt Options) (Result, *Report, error) {
 	return run0(cfg, opt, true)
 }
 
-func run0(cfg *nest.Domain, opt Options, observe bool) (Result, *Report, error) {
+func run0(cfg *nest.Domain, opt Options, observe bool) (res Result, rep *Report, err error) {
 	if opt.Ranks <= 0 {
 		return Result{}, nil, ErrBadRanks
 	}
 	if err := cfg.Validate(); err != nil {
 		return Result{}, nil, err
+	}
+	var sp *telemetry.ActiveSpan
+	if opt.Tracer.Recording() {
+		sp = opt.Tracer.Start(opt.TraceParent, "driver.run", telemetry.LayerDriver)
+		sp.Annotate("machine", opt.Machine.Name)
+		sp.Annotate("strategy", opt.Strategy.String())
+		sp.Annotate("alloc", opt.Alloc.String())
+		sp.Annotate("mapping", opt.MapKind.String())
+		sp.Annotate("ranks", strconv.Itoa(opt.Ranks))
+		defer func() {
+			if err != nil {
+				sp.Annotate("error", err.Error())
+			} else {
+				sp.Annotate("iter_seconds", strconv.FormatFloat(res.IterTime, 'g', -1, 64))
+			}
+			sp.End()
+		}()
 	}
 	g, err := machine.GridFor(opt.Ranks)
 	if err != nil {
@@ -292,6 +322,7 @@ func run0(cfg *nest.Domain, opt Options, observe bool) (Result, *Report, error) 
 		pred:    opt.Predictor,
 		waitAvg: make([]float64, opt.Ranks),
 		waitMax: make([]float64, opt.Ranks),
+		span:    sp.ID(),
 	}
 	if observe {
 		r.rep = newReportBuilder()
@@ -320,7 +351,7 @@ func run0(cfg *nest.Domain, opt Options, observe bool) (Result, *Report, error) 
 		return Result{}, nil, err
 	}
 
-	res := Result{Rects: rects}
+	res = Result{Rects: rects}
 	iter, sibs, err := r.domainIter(cfg, full, rects, 1)
 	if err != nil {
 		return Result{}, nil, err
@@ -349,7 +380,7 @@ func run0(cfg *nest.Domain, opt Options, observe bool) (Result, *Report, error) 
 	if !observe {
 		return res, nil, nil
 	}
-	rep, err := r.buildReport(cfg, res)
+	rep, err = r.buildReport(cfg, res)
 	if err != nil {
 		return Result{}, nil, err
 	}
@@ -420,15 +451,34 @@ func buildMapping(kind MapKind, g vtopo.Grid, tor torus.Torus, rects []alloc.Rec
 // report is being built (and contention is on), the phase's link-
 // congestion summary is captured alongside the costs.
 func (r *run) costs(placements []model.Placement) []model.StepCost {
-	if r.opt.NoContention {
-		return model.PhaseCostsNoContention(r.opt.Machine, r.mp, placements)
+	var sp *telemetry.ActiveSpan
+	if r.opt.Tracer.Recording() {
+		// phaseName allocates, so it is only evaluated on the traced path.
+		sp = r.opt.Tracer.Start(r.span, phaseName(placements), telemetry.LayerPhase)
 	}
-	if r.rep != nil {
-		cs, cong := model.PhaseCostsCongestion(r.opt.Machine, r.mp, placements)
+	var cs []model.StepCost
+	switch {
+	case r.opt.NoContention:
+		cs = model.PhaseCostsNoContention(r.opt.Machine, r.mp, placements)
+	case r.rep != nil:
+		var cong netsim.Congestion
+		cs, cong = model.PhaseCostsCongestion(r.opt.Machine, r.mp, placements)
 		r.rep.observeCongestion(phaseName(placements), cong)
-		return cs
+	default:
+		cs = model.PhaseCosts(r.opt.Machine, r.mp, placements)
 	}
-	return model.PhaseCosts(r.opt.Machine, r.mp, placements)
+	if sp != nil {
+		var longest float64
+		for _, c := range cs {
+			if t := c.Time(); t > longest {
+				longest = t
+			}
+		}
+		sp.Annotate("domains", strconv.Itoa(len(placements)))
+		sp.Annotate("virtual_seconds", strconv.FormatFloat(longest, 'g', -1, 64))
+		sp.End()
+	}
+	return cs
 }
 
 func (r *run) domainIter(d *nest.Domain, sg vtopo.Subgrid, rects []alloc.Rect, mult float64) (float64, []DomainMetrics, error) {

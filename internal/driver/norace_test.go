@@ -1,0 +1,5 @@
+//go:build !race
+
+package driver
+
+const raceEnabled = false

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -17,6 +19,7 @@ import (
 	"nestwrf/internal/nest"
 	"nestwrf/internal/planserve"
 	"nestwrf/internal/stats"
+	"nestwrf/internal/telemetry"
 )
 
 // Errors.
@@ -182,6 +185,89 @@ type Engine struct {
 	// this run (simulating a kill for resume testing). The summary has
 	// Stopped=true and a nil error.
 	StopAfter int
+	// Tracer, when non-nil, records one campaign-layer span for the
+	// run, with member-layer spans for head-sampled members (every
+	// tracer.SampleEvery-th member ID) wrapping their plan-cache
+	// lookups and driver runs. Unsampled members skip tracing
+	// entirely, so 10k-member campaigns stay O(window) in span count
+	// per sampled member. Nil keeps tracing off the hot path.
+	Tracer *telemetry.Tracer
+	// Log, when non-nil, receives structured campaign lifecycle lines
+	// (start, checkpoints, completion) and one line per sampled
+	// member, each carrying the campaign/member span IDs that join
+	// against exported trace dumps.
+	Log *slog.Logger
+
+	// Live progress state behind Progress(); guarded by progMu. The
+	// committer updates it as members are ingested.
+	progMu   sync.Mutex
+	progOn   bool // a run has started populating the fields below
+	progDone int
+	progFrom int
+	progTot  int
+	progAt   time.Time
+	progAgg  *Aggregates
+	progCch  *planserve.PlanCache
+}
+
+// Progress is a live snapshot of a running (or finished) campaign:
+// how far it has advanced, its throughput and ETA, the streaming gain
+// aggregates so far, and the plan cache's effectiveness.
+type Progress struct {
+	// Done/Total count committed members (Done includes ResumedFrom
+	// checkpoint-restored ones).
+	Done        int `json:"done"`
+	Total       int `json:"total"`
+	ResumedFrom int `json:"resumed_from"`
+	// ElapsedSec covers this run; MembersPerSec covers members this
+	// run executed; EtaSec extrapolates the remainder at that rate
+	// (zero until the first commit).
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	MembersPerSec float64 `json:"members_per_sec"`
+	EtaSec        float64 `json:"eta_sec"`
+	// Gain summarizes the improvement-percent stream so far.
+	GainMean float64 `json:"gain_mean"`
+	GainP10  float64 `json:"gain_p10"`
+	GainP50  float64 `json:"gain_p50"`
+	GainP90  float64 `json:"gain_p90"`
+	// Cache effectiveness (cumulative over the shared cache).
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// Progress reports the campaign's live state. Before Run has started
+// it returns a zero Progress with ok=false. Safe for concurrent use
+// with a running campaign: the /debug/progress endpoint polls it.
+func (e *Engine) Progress() (Progress, bool) {
+	e.progMu.Lock()
+	defer e.progMu.Unlock()
+	if !e.progOn {
+		return Progress{}, false
+	}
+	p := Progress{
+		Done:        e.progDone,
+		Total:       e.progTot,
+		ResumedFrom: e.progFrom,
+		ElapsedSec:  time.Since(e.progAt).Seconds(),
+	}
+	if ran := e.progDone - e.progFrom; ran > 0 && p.ElapsedSec > 0 {
+		p.MembersPerSec = float64(ran) / p.ElapsedSec
+		p.EtaSec = float64(e.progTot-e.progDone) / p.MembersPerSec
+	}
+	if g := e.progAgg.ImprovementPct; g != nil && g.Count > 0 {
+		p.GainMean = g.Mean
+		p.GainP10, _ = g.Quantile(0.1)
+		p.GainP50, _ = g.Quantile(0.5)
+		p.GainP90, _ = g.Quantile(0.9)
+	}
+	if e.progCch != nil {
+		p.CacheHits, p.CacheMisses, _ = e.progCch.Stats()
+		if lookups := p.CacheHits + p.CacheMisses; lookups > 0 {
+			p.CacheHitRate = float64(p.CacheHits) / float64(lookups)
+		}
+	}
+	return p, true
 }
 
 // commitMsg carries one worker's outcome to the committer.
@@ -238,10 +324,40 @@ func (e *Engine) Run(ctx context.Context) (*Summary, error) {
 	committedGauge.Set(float64(start))
 	begin := time.Now()
 
+	e.progMu.Lock()
+	e.progOn = true
+	e.progDone, e.progFrom, e.progTot = start, start, spec.Members
+	e.progAt = begin
+	e.progAgg = agg
+	e.progCch = cache
+	e.progMu.Unlock()
+
 	next := start
 	thisRun := 0
 	stopped := false
 	var firstErr error
+
+	// The campaign span is the root every sampled member parents
+	// under; its ID also appears in every campaign log line.
+	csp := e.Tracer.Start(0, "campaign", telemetry.LayerCampaign)
+	campID := csp.ID()
+	if csp != nil {
+		csp.Annotate("members", strconv.Itoa(spec.Members))
+		csp.Annotate("resumed_from", strconv.Itoa(start))
+		csp.Annotate("workers", strconv.Itoa(workers))
+		defer func() {
+			csp.Annotate("committed", strconv.Itoa(next))
+			if firstErr != nil {
+				csp.Annotate("error", firstErr.Error())
+			}
+			csp.End()
+		}()
+	}
+	if e.Log != nil {
+		e.Log.Info("campaign start",
+			"members", spec.Members, "resumed_from", start,
+			"workers", workers, "window", window, "campaign", campID.String())
+	}
 
 	if start < spec.Members {
 		runCtx, cancel := context.WithCancel(ctx)
@@ -273,7 +389,37 @@ func (e *Engine) Run(ctx context.Context) (*Summary, error) {
 			go func() {
 				defer wg.Done()
 				for id := range jobs {
-					mr, err := e.runMember(runCtx, spec, cache, id)
+					// Head sampling: every SampleEvery-th member gets a
+					// member-layer span under the campaign; the rest run
+					// with tracing fully off.
+					var msp *telemetry.ActiveSpan
+					if e.Tracer.Recording() && e.Tracer.Sampled(id) {
+						msp = e.Tracer.Start(campID, "member", telemetry.LayerMember)
+						msp.Annotate("member", strconv.Itoa(id))
+					}
+					t0 := time.Now()
+					mr, err := e.runMember(runCtx, spec, cache, id, msp.ID())
+					dur := time.Since(t0).Seconds()
+					e.Metrics.Summary("ensemble_member_seconds", nil,
+						metrics.L("kind", mr.Kind)).Observe(dur)
+					if err == nil {
+						e.Metrics.Summary("ensemble_improvement_pct", nil).Observe(mr.ImprovementPct)
+					}
+					if msp != nil {
+						msp.Annotate("kind", mr.Kind)
+						if err != nil {
+							msp.Annotate("error", err.Error())
+						} else {
+							msp.Annotate("improvement_pct",
+								strconv.FormatFloat(mr.ImprovementPct, 'g', -1, 64))
+						}
+						msp.End()
+						if e.Log != nil {
+							e.Log.Info("member sampled",
+								"member", id, "kind", mr.Kind, "seconds", dur,
+								"campaign", campID.String(), "span", msp.ID().String())
+						}
+					}
 					select {
 					case results <- commitMsg{id: id, res: mr, err: err}:
 					case <-runCtx.Done():
@@ -291,6 +437,10 @@ func (e *Engine) Run(ctx context.Context) (*Summary, error) {
 		for msg := range results {
 			if msg.err != nil {
 				firstErr = fmt.Errorf("ensemble: member %d: %w", msg.id, msg.err)
+				if e.Log != nil {
+					e.Log.Error("member failed",
+						"member", msg.id, "error", msg.err, "campaign", campID.String())
+				}
 				cancel()
 				break
 			}
@@ -302,8 +452,14 @@ func (e *Engine) Run(ctx context.Context) (*Summary, error) {
 				}
 				delete(pending, next)
 				<-sem // release the window slot
+				// Ingest under progMu so Progress() can snapshot the
+				// streaming aggregates mid-run without racing the P²
+				// marker updates.
+				e.progMu.Lock()
 				agg.Ingest(m.res)
 				next++
+				e.progDone = next
+				e.progMu.Unlock()
 				thisRun++
 				e.Metrics.Counter("ensemble_members_total", metrics.L("kind", m.res.Kind)).Inc()
 				committedGauge.Set(float64(next))
@@ -348,6 +504,13 @@ func (e *Engine) Run(ctx context.Context) (*Summary, error) {
 	if thisRun > 0 && elapsed > 0 {
 		sum.MembersPerSec = float64(thisRun) / elapsed.Seconds()
 	}
+	if e.Log != nil {
+		e.Log.Info("campaign done",
+			"committed", next, "stopped", stopped,
+			"members_per_sec", sum.MembersPerSec,
+			"cache_hits", sum.CacheHits, "cache_misses", sum.CacheMisses,
+			"campaign", campID.String())
+	}
 	return sum, nil
 }
 
@@ -363,13 +526,19 @@ func (e *Engine) writeCheckpoint(spec Spec, committed int, agg *Aggregates) erro
 // runMember realizes and simulates one member. Storyline members run
 // the full multi-phase campaign comparison; single-configuration
 // members compare one sequential against one concurrent iteration. All
-// driver runs go through the shared plan cache.
-func (e *Engine) runMember(ctx context.Context, spec Spec, cache *planserve.PlanCache, id int) (MemberResult, error) {
+// driver runs go through the shared plan cache. parent, when nonzero,
+// is the member span every cache lookup (and miss computation) of
+// this member parents under; zero leaves the member untraced.
+func (e *Engine) runMember(ctx context.Context, spec Spec, cache *planserve.PlanCache, id int, parent telemetry.SpanID) (MemberResult, error) {
 	m, err := spec.Member(id)
 	if err != nil {
 		return MemberResult{}, err
 	}
 	run := func(cfg *nest.Domain, opt driver.Options) (driver.Result, error) {
+		if parent != 0 {
+			opt.Tracer = e.Tracer
+			opt.TraceParent = parent
+		}
 		res, _, err := cache.Run(ctx, cfg, opt)
 		return res, err
 	}

@@ -22,6 +22,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"nestwrf/internal/stats"
 )
 
 // Label is one name/value dimension of an instrument.
@@ -174,15 +176,66 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// DefaultQuantiles are the probabilities a Summary tracks unless the
+// caller asks for others: the p10/p50/p90 the ensemble aggregates and
+// the serving latency reports standardize on.
+var DefaultQuantiles = []float64{0.1, 0.5, 0.9}
+
+// Summary estimates arbitrary quantiles of an observation stream with
+// O(1) memory: one stats.P2 estimator per tracked probability, plus
+// sum and count. Unlike Histogram its quantile readings adapt to the
+// data instead of quantizing to fixed bucket bounds. Observations are
+// serialized under a mutex (the P² update is stateful), so Observe is
+// safe for concurrent use; a nil *Summary is a valid no-op sink.
+type Summary struct {
+	mu    sync.Mutex
+	qs    []*stats.P2
+	sum   float64
+	count uint64
+}
+
+// newSummary builds a summary over the given quantile probabilities
+// (invalid probabilities outside (0,1) are dropped; empty falls back
+// to DefaultQuantiles).
+func newSummary(quantiles []float64) *Summary {
+	s := &Summary{}
+	for _, p := range quantiles {
+		if p > 0 && p < 1 {
+			s.qs = append(s.qs, stats.NewP2(p))
+		}
+	}
+	if len(s.qs) == 0 {
+		for _, p := range DefaultQuantiles {
+			s.qs = append(s.qs, stats.NewP2(p))
+		}
+	}
+	return s
+}
+
+// Observe records one value. Safe on a nil receiver.
+func (s *Summary) Observe(v float64) {
+	if s == nil || math.IsNaN(v) {
+		return
+	}
+	s.mu.Lock()
+	s.sum += v
+	s.count++
+	for _, q := range s.qs {
+		q.Add(v)
+	}
+	s.mu.Unlock()
+}
+
 // Registry holds instruments keyed by (name, label set). The zero
 // value is not usable; use NewRegistry. A nil *Registry is a valid
 // no-op sink.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
-	meta     map[string]instrumentMeta
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	hists     map[string]*Histogram
+	summaries map[string]*Summary
+	meta      map[string]instrumentMeta
 }
 
 type instrumentMeta struct {
@@ -193,10 +246,11 @@ type instrumentMeta struct {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
-		hists:    map[string]*Histogram{},
-		meta:     map[string]instrumentMeta{},
+		counters:  map[string]*Counter{},
+		gauges:    map[string]*Gauge{},
+		hists:     map[string]*Histogram{},
+		summaries: map[string]*Summary{},
+		meta:      map[string]instrumentMeta{},
 	}
 }
 
@@ -262,6 +316,25 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Hi
 	return h
 }
 
+// Summary returns the summary with the given identity, creating it
+// with the given quantile probabilities on first use (later calls
+// reuse the first probabilities; nil falls back to DefaultQuantiles).
+// A nil registry returns a nil (no-op) summary.
+func (r *Registry) Summary(name string, quantiles []float64, labels ...Label) *Summary {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := r.id("s", name, labels)
+	s, ok := r.summaries[key]
+	if !ok {
+		s = newSummary(quantiles)
+		r.summaries[key] = s
+	}
+	return s
+}
+
 // MetricValue is one counter or gauge reading in a snapshot.
 type MetricValue struct {
 	Name   string  `json:"name"`
@@ -286,6 +359,21 @@ type HistogramValue struct {
 	Count    uint64  `json:"count"`
 }
 
+// QuantileValue is one quantile estimate in a summary snapshot.
+type QuantileValue struct {
+	Quantile float64 `json:"quantile"`
+	Value    float64 `json:"value"`
+}
+
+// SummaryValue is one summary reading in a snapshot.
+type SummaryValue struct {
+	Name      string          `json:"name"`
+	Labels    []Label         `json:"labels,omitempty"`
+	Quantiles []QuantileValue `json:"quantiles"`
+	Sum       float64         `json:"sum"`
+	Count     uint64          `json:"count"`
+}
+
 // Snapshot is an immutable, deeply copied view of a registry at one
 // instant, ordered by (name, label set) within each section. Mutating
 // a snapshot never affects the registry, and vice versa.
@@ -293,6 +381,7 @@ type Snapshot struct {
 	Counters   []MetricValue    `json:"counters"`
 	Gauges     []MetricValue    `json:"gauges"`
 	Histograms []HistogramValue `json:"histograms"`
+	Summaries  []SummaryValue   `json:"summaries,omitempty"`
 }
 
 // Snapshot captures the registry's current state. A nil registry
@@ -341,6 +430,19 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 		s.Histograms = append(s.Histograms, hv)
 	}
+	for _, k := range keys(r.meta, "s\x00") {
+		m := r.meta[k]
+		sm := r.summaries[k]
+		sv := SummaryValue{Name: m.name, Labels: append([]Label(nil), m.labels...)}
+		sm.mu.Lock()
+		sv.Sum = sm.sum
+		sv.Count = sm.count
+		for _, q := range sm.qs {
+			sv.Quantiles = append(sv.Quantiles, QuantileValue{Quantile: q.P, Value: q.Value()})
+		}
+		sm.mu.Unlock()
+		s.Summaries = append(s.Summaries, sv)
+	}
 	return s
 }
 
@@ -383,6 +485,20 @@ func (s Snapshot) WriteText(w io.Writer) error {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", h.Name, labelSuffix(h.Labels), h.Count); err != nil {
+			return err
+		}
+	}
+	for _, sm := range s.Summaries {
+		for _, q := range sm.Quantiles {
+			ls := append(append([]Label(nil), sm.Labels...), L("quantile", fmt.Sprintf("%g", q.Quantile)))
+			if _, err := fmt.Fprintf(w, "%s%s %g\n", sm.Name, labelSuffix(ls), q.Value); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", sm.Name, labelSuffix(sm.Labels), sm.Sum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", sm.Name, labelSuffix(sm.Labels), sm.Count); err != nil {
 			return err
 		}
 	}

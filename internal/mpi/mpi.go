@@ -17,6 +17,7 @@ import (
 	"math/bits"
 	"sort"
 	"sync"
+	"time"
 )
 
 // TimeModel computes virtual transfer durations between global ranks.
@@ -176,6 +177,12 @@ type PhaseStats struct {
 	// messages and payload bytes, including collective-internal traffic.
 	SendCount, RecvCount int
 	SendBytes, RecvBytes int
+	// Wall is real (wall-clock) time the rank spent inside the phase,
+	// accrued at BeginPhase transitions (and finalized by Phases), in
+	// seconds. Unlike the virtual-time fields above it measures the
+	// simulator itself, so phase-level trace spans and reports can show
+	// where real execution time goes.
+	Wall float64
 }
 
 // add accumulates o into s.
@@ -187,6 +194,7 @@ func (s *PhaseStats) add(o PhaseStats) {
 	s.RecvCount += o.RecvCount
 	s.SendBytes += o.SendBytes
 	s.RecvBytes += o.RecvBytes
+	s.Wall += o.Wall
 }
 
 // Phase is one named phase of one rank with its accumulated stats.
@@ -206,6 +214,7 @@ type Proc struct {
 	// Phase instrumentation: nil until the first BeginPhase, so
 	// uninstrumented runs pay only a nil check per operation.
 	cur      *PhaseStats
+	curAt    time.Time // wall-clock entry into the current phase
 	phases   []Phase
 	phaseIdx map[string]int
 }
@@ -296,6 +305,10 @@ func (p *Proc) BeginPhase(name string) {
 	if p.phaseIdx == nil {
 		p.phaseIdx = make(map[string]int)
 	}
+	now := time.Now()
+	if p.cur != nil {
+		p.cur.Wall += now.Sub(p.curAt).Seconds()
+	}
 	i, ok := p.phaseIdx[name]
 	if !ok {
 		i = len(p.phases)
@@ -303,12 +316,19 @@ func (p *Proc) BeginPhase(name string) {
 		p.phases = append(p.phases, Phase{Name: name})
 	}
 	p.cur = &p.phases[i].Stats
+	p.curAt = now
 }
 
 // Phases returns a copy of the rank's per-phase breakdown in
-// first-BeginPhase order. Call it only after Run returns (or from the
-// rank's own goroutine).
+// first-BeginPhase order, finalizing the open phase's wall-clock
+// accrual. Call it only after Run returns (or from the rank's own
+// goroutine).
 func (p *Proc) Phases() []Phase {
+	if p.cur != nil {
+		now := time.Now()
+		p.cur.Wall += now.Sub(p.curAt).Seconds()
+		p.curAt = now
+	}
 	return append([]Phase(nil), p.phases...)
 }
 

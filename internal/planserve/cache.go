@@ -5,10 +5,36 @@ import (
 	"context"
 	"errors"
 	"sync"
+
+	"nestwrf/internal/metrics"
 )
 
 // ErrCacheClosed is returned by Do after Close.
 var ErrCacheClosed = errors.New("planserve: cache closed")
+
+// cacheOutcome classifies how a lookup was satisfied.
+type cacheOutcome int
+
+const (
+	// outcomeMiss: this caller led the computation.
+	outcomeMiss cacheOutcome = iota
+	// outcomeHit: served from the resident cache, no waiting.
+	outcomeHit
+	// outcomeJoin: waited on another caller's in-flight computation
+	// (singleflight dedup).
+	outcomeJoin
+)
+
+// String returns the annotation/label form of the outcome.
+func (o cacheOutcome) String() string {
+	switch o {
+	case outcomeHit:
+		return "hit"
+	case outcomeJoin:
+		return "join"
+	}
+	return "miss"
+}
 
 // flight is one in-progress computation that concurrent identical
 // queries join instead of recomputing (singleflight dedup). done is
@@ -31,7 +57,11 @@ type cache struct {
 	inflight map[string]*flight
 	closed   bool
 
-	hits, misses, evictions uint64
+	hits, misses, evictions, joins uint64
+
+	// Optional registry counters, mirroring the internal counts; nil
+	// (the default) is a no-op thanks to the metrics nil contract.
+	mHits, mMisses, mEvictions, mJoins *metrics.Counter
 }
 
 // lruEntry is the list payload.
@@ -61,30 +91,41 @@ func newCache(max int) *cache {
 // The hit result reports whether the value came from the cache without
 // waiting on any computation.
 func (c *cache) Do(ctx context.Context, key string, compute func() (any, error)) (val any, hit bool, err error) {
+	val, out, err := c.do(ctx, key, compute)
+	return val, out == outcomeHit, err
+}
+
+// do is Do with the full outcome: hit, miss (led the computation) or
+// join (waited on another caller's flight).
+func (c *cache) do(ctx context.Context, key string, compute func() (any, error)) (val any, out cacheOutcome, err error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, false, ErrCacheClosed
+		return nil, outcomeMiss, ErrCacheClosed
 	}
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
+		c.mHits.Inc()
 		val = el.Value.(*lruEntry).val
 		c.mu.Unlock()
-		return val, true, nil
+		return val, outcomeHit, nil
 	}
 	if f, ok := c.inflight[key]; ok {
+		c.joins++
+		c.mJoins.Inc()
 		c.mu.Unlock()
 		select {
 		case <-f.done:
-			return f.val, false, f.err
+			return f.val, outcomeJoin, f.err
 		case <-ctx.Done():
-			return nil, false, ctx.Err()
+			return nil, outcomeJoin, ctx.Err()
 		}
 	}
 	f := &flight{done: make(chan struct{})}
 	c.inflight[key] = f
 	c.misses++
+	c.mMisses.Inc()
 	c.mu.Unlock()
 
 	f.val, f.err = compute()
@@ -96,7 +137,7 @@ func (c *cache) Do(ctx context.Context, key string, compute func() (any, error))
 	}
 	c.mu.Unlock()
 	close(f.done)
-	return f.val, false, f.err
+	return f.val, outcomeMiss, f.err
 }
 
 // insert adds key -> val and evicts the least recently used entry when
@@ -113,6 +154,7 @@ func (c *cache) insert(key string, val any) {
 		c.ll.Remove(oldest)
 		delete(c.entries, oldest.Value.(*lruEntry).key)
 		c.evictions++
+		c.mEvictions.Inc()
 	}
 }
 
@@ -128,6 +170,30 @@ func (c *cache) Stats() (hits, misses, evictions uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.evictions
+}
+
+// Joins returns the cumulative count of lookups that waited on another
+// caller's in-flight computation (singleflight dedup).
+func (c *cache) Joins() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.joins
+}
+
+// instrument mirrors the cache's counters into reg under the given
+// metric name prefix (e.g. "plancache" yields plancache_hits_total and
+// friends). A nil registry leaves the cache uninstrumented; counts
+// recorded before instrumentation are not backfilled.
+func (c *cache) instrument(reg *metrics.Registry, prefix string, labels ...metrics.Label) {
+	if reg == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mHits = reg.Counter(prefix+"_hits_total", labels...)
+	c.mMisses = reg.Counter(prefix+"_misses_total", labels...)
+	c.mEvictions = reg.Counter(prefix+"_evictions_total", labels...)
+	c.mJoins = reg.Counter(prefix+"_joins_total", labels...)
 }
 
 // Close empties the cache and makes further Do calls fail fast.

@@ -4,7 +4,9 @@ import (
 	"context"
 
 	"nestwrf/internal/driver"
+	"nestwrf/internal/metrics"
 	"nestwrf/internal/nest"
+	"nestwrf/internal/telemetry"
 )
 
 // PlanCache is the plan cache behind the HTTP server, exported for
@@ -27,38 +29,80 @@ func NewPlanCache(maxEntries int) *PlanCache {
 	return &PlanCache{c: newCache(maxEntries)}
 }
 
+// Instrument mirrors the cache's hit/miss/eviction/join counters into
+// reg as plancache_{hits,misses,evictions,joins}_total, so embedders
+// (cmd/ensemble -metrics, the plan server) report cache effectiveness
+// alongside their other instruments. A nil registry is a no-op.
+func (p *PlanCache) Instrument(reg *metrics.Registry, labels ...metrics.Label) {
+	p.c.instrument(reg, "plancache", labels...)
+}
+
+// startLookupSpan opens a cache-layer span for one lookup when the
+// options carry a recording tracer; the caller ends it via
+// endLookupSpan once the outcome is known. The driver span of a
+// cache-miss computation parents under this span, so a trace shows
+// hit lookups as leaf spans and misses with a driver subtree.
+func startLookupSpan(opt driver.Options, name string) *telemetry.ActiveSpan {
+	if !opt.Tracer.Recording() {
+		return nil
+	}
+	return opt.Tracer.Start(opt.TraceParent, name, telemetry.LayerCache)
+}
+
+// endLookupSpan annotates the lookup span with its outcome and closes
+// it. Safe on a nil span.
+func endLookupSpan(sp *telemetry.ActiveSpan, out cacheOutcome, err error) {
+	if sp == nil {
+		return
+	}
+	sp.Annotate("outcome", out.String())
+	if err != nil {
+		sp.Annotate("error", err.Error())
+	}
+	sp.End()
+}
+
 // Run returns driver.Run's result for cfg under opt, computing it at
 // most once per canonical key. hit reports whether the result came
 // from the cache without waiting on any computation. The options'
-// Predictor and Metrics fields are not part of the key: predictors are
-// deterministic per machine identity (pass nil or the machine's
-// cached predictor), and metrics do not change results.
+// Predictor, Metrics and Tracer fields are not part of the key:
+// predictors are deterministic per machine identity (pass nil or the
+// machine's cached predictor), and observability does not change
+// results.
 func (p *PlanCache) Run(ctx context.Context, cfg *nest.Domain, opt driver.Options) (driver.Result, bool, error) {
 	key := cacheKey("run|", opt.Machine, opt, cfg)
-	v, hit, err := p.c.Do(ctx, key, func() (any, error) {
-		res, err := driver.Run(cfg, opt)
+	sp := startLookupSpan(opt, "plancache.run")
+	v, out, err := p.c.do(ctx, key, func() (any, error) {
+		inner := opt
+		inner.TraceParent = sp.ID()
+		res, err := driver.Run(cfg, inner)
 		if err != nil {
 			return nil, err
 		}
 		return &res, nil
 	})
+	endLookupSpan(sp, out, err)
 	if err != nil {
-		return driver.Result{}, hit, err
+		return driver.Result{}, out == outcomeHit, err
 	}
-	return *(v.(*driver.Result)), hit, nil
+	return *(v.(*driver.Result)), out == outcomeHit, nil
 }
 
 // Plan returns driver.BuildPlan's output for cfg under opt, computing
 // it at most once per canonical key.
 func (p *PlanCache) Plan(ctx context.Context, cfg *nest.Domain, opt driver.Options) (*driver.Plan, bool, error) {
 	key := cacheKey("plan|", opt.Machine, opt, cfg)
-	v, hit, err := p.c.Do(ctx, key, func() (any, error) {
-		return driver.BuildPlan(cfg, opt)
+	sp := startLookupSpan(opt, "plancache.plan")
+	v, out, err := p.c.do(ctx, key, func() (any, error) {
+		inner := opt
+		inner.TraceParent = sp.ID()
+		return driver.BuildPlan(cfg, inner)
 	})
+	endLookupSpan(sp, out, err)
 	if err != nil {
-		return nil, hit, err
+		return nil, out == outcomeHit, err
 	}
-	return v.(*driver.Plan), hit, nil
+	return v.(*driver.Plan), out == outcomeHit, nil
 }
 
 // Len returns the number of resident entries.
@@ -69,6 +113,10 @@ func (p *PlanCache) Len() int { return p.c.Len() }
 // as neither), so on an eviction-free run Misses equals the number of
 // distinct geometries planned.
 func (p *PlanCache) Stats() (hits, misses, evictions uint64) { return p.c.Stats() }
+
+// Joins returns how many lookups waited on another caller's in-flight
+// computation instead of recomputing (singleflight deduplication).
+func (p *PlanCache) Joins() uint64 { return p.c.Joins() }
 
 // Close empties the cache; further calls fail with ErrCacheClosed.
 func (p *PlanCache) Close() { p.c.Close() }

@@ -17,10 +17,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"nestwrf"
@@ -30,6 +32,7 @@ import (
 	"nestwrf/internal/machine"
 	"nestwrf/internal/metrics"
 	"nestwrf/internal/nest"
+	"nestwrf/internal/telemetry"
 )
 
 // CacheHeader is the response header reporting "hit" or "miss".
@@ -194,14 +197,30 @@ type Config struct {
 	// Metrics receives per-request instrumentation; nil disables it
 	// (a nil registry is a valid no-op sink).
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, records one serve-layer span per planning
+	// request, with the plan-cache lookup (and, on a miss, the driver
+	// run and its phases) nested under it. Nil keeps tracing off the
+	// hot path entirely.
+	Tracer *telemetry.Tracer
+	// Log, when non-nil, receives one structured line per planning
+	// request carrying the request's span ID, so log lines join
+	// against exported trace dumps. Nil disables request logging.
+	Log *slog.Logger
 }
 
 // Server is the planning service: share one across all connections.
 type Server struct {
-	cfg   Config
-	plans *cache
-	sem   chan struct{}
-	reg   *metrics.Registry
+	cfg    Config
+	plans  *cache
+	sem    chan struct{}
+	reg    *metrics.Registry
+	tracer *telemetry.Tracer
+	log    *slog.Logger
+
+	// requests and inflight back /debug/progress independently of the
+	// registry (which may be absent).
+	requests atomic.Uint64
+	inflight atomic.Int64
 }
 
 // New builds a Server from cfg (zero-value fields are defaulted).
@@ -215,12 +234,16 @@ func New(cfg Config) *Server {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 30 * time.Second
 	}
-	return &Server{
-		cfg:   cfg,
-		plans: newCache(cfg.CacheSize),
-		sem:   make(chan struct{}, cfg.Workers),
-		reg:   cfg.Metrics,
+	s := &Server{
+		cfg:    cfg,
+		plans:  newCache(cfg.CacheSize),
+		sem:    make(chan struct{}, cfg.Workers),
+		reg:    cfg.Metrics,
+		tracer: cfg.Tracer,
+		log:    cfg.Log,
 	}
+	s.plans.instrument(cfg.Metrics, "plancache")
+	return s
 }
 
 // Close shuts the plan cache; queued requests fail fast afterwards.
@@ -231,6 +254,10 @@ func (s *Server) CacheStats() (entries int, hits, misses, evictions uint64) {
 	hits, misses, evictions = s.plans.Stats()
 	return s.plans.Len(), hits, misses, evictions
 }
+
+// CacheJoins reports how many lookups waited on another request's
+// in-flight computation (singleflight deduplication).
+func (s *Server) CacheJoins() uint64 { return s.plans.Joins() }
 
 // Handler returns the service mux: POST /v1/plan, POST /v1/compare,
 // GET /v1/stats, GET /healthz, GET /metrics.
@@ -243,6 +270,7 @@ func (s *Server) Handler() http.Handler {
 		s.serveQuery(w, r, "compare")
 	})
 	mux.HandleFunc("GET /v1/stats", s.serveStats)
+	mux.HandleFunc("GET /debug/progress", s.serveProgress)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -266,14 +294,33 @@ var latencyBounds = []float64{
 // cache-or-compute under the worker pool, marshal.
 func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint string) {
 	start := time.Now()
+	s.requests.Add(1)
+	s.inflight.Add(1)
 	s.reg.Gauge("planserve_inflight_requests").Add(1)
 	code := http.StatusOK
+	result := "none" // cache outcome; "none" until the lookup runs
+	sp := s.tracer.Start(0, "planserve."+endpoint, telemetry.LayerServe)
+	sp.Annotate("endpoint", endpoint)
 	defer func() {
+		dur := time.Since(start).Seconds()
+		s.inflight.Add(-1)
 		s.reg.Gauge("planserve_inflight_requests").Add(-1)
 		s.reg.Counter("planserve_requests_total",
 			metrics.L("endpoint", endpoint), metrics.L("code", strconv.Itoa(code))).Inc()
 		s.reg.Histogram("planserve_request_seconds", latencyBounds,
-			metrics.L("endpoint", endpoint)).Observe(time.Since(start).Seconds())
+			metrics.L("endpoint", endpoint)).Observe(dur)
+		s.reg.Summary("planserve_request_seconds_summary", nil,
+			metrics.L("endpoint", endpoint)).Observe(dur)
+		if sp != nil {
+			sp.Annotate("code", strconv.Itoa(code))
+			sp.Annotate("cache", result)
+			sp.End()
+		}
+		if s.log != nil {
+			s.log.Info("request",
+				"endpoint", endpoint, "code", code, "seconds", dur,
+				"cache", result, "span", sp.ID().String())
+		}
 	}()
 
 	var req PlanRequest
@@ -294,6 +341,13 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint str
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
+	// Thread the request span into the planning options, so a cache
+	// miss's driver run (and its phases) nests under this request in
+	// the exported trace. Neither field is part of the cache key.
+	opt.Tracer = s.tracer
+	opt.TraceParent = sp.ID()
+	csp := startLookupSpan(opt, "plancache."+endpoint)
+
 	var compute func() (any, error)
 	switch endpoint {
 	case "plan":
@@ -308,7 +362,8 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint str
 		}
 	}
 	key := cacheKey(endpoint+"|", m, opt, cfg)
-	val, hit, err := s.plans.Do(ctx, key, func() (any, error) {
+	opt.TraceParent = csp.ID() // the miss computation parents under the lookup
+	val, out, err := s.plans.do(ctx, key, func() (any, error) {
 		// The singleflight leader claims a worker-pool slot; joiners
 		// wait on the flight, not the pool.
 		select {
@@ -319,10 +374,8 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint str
 		defer func() { <-s.sem }()
 		return compute()
 	})
-	result := "miss"
-	if hit {
-		result = "hit"
-	}
+	endLookupSpan(csp, out, err)
+	result = out.String()
 	s.reg.Counter("planserve_cache_total",
 		metrics.L("endpoint", endpoint), metrics.L("result", result)).Inc()
 	if err != nil {
@@ -331,7 +384,13 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint str
 		return
 	}
 
-	w.Header().Set(CacheHeader, result)
+	// The header keeps its original two-valued contract: joiners did
+	// not get a resident entry, so they report "miss".
+	header := "miss"
+	if out == outcomeHit {
+		header = "hit"
+	}
+	w.Header().Set(CacheHeader, header)
 	switch p := val.(type) {
 	case *driver.Plan:
 		writeJSON(w, http.StatusOK, planResponse(m, cfg, p))
@@ -373,6 +432,27 @@ func (s *Server) serveStats(w http.ResponseWriter, _ *http.Request) {
 	entries, hits, misses, evictions := s.CacheStats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"entries": entries, "hits": hits, "misses": misses, "evictions": evictions,
+		"joins": s.CacheJoins(),
+	})
+}
+
+// serveProgress reports live serving state: requests handled so far,
+// requests in flight, and cache effectiveness as a hit rate over
+// completed lookups.
+func (s *Server) serveProgress(w http.ResponseWriter, _ *http.Request) {
+	entries, hits, misses, evictions := s.CacheStats()
+	var hitRate float64
+	if lookups := hits + misses; lookups > 0 {
+		hitRate = float64(hits) / float64(lookups)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"requests": s.requests.Load(),
+		"inflight": s.inflight.Load(),
+		"cache": map[string]any{
+			"entries": entries, "hits": hits, "misses": misses,
+			"evictions": evictions, "joins": s.CacheJoins(),
+			"hit_rate": hitRate,
+		},
 	})
 }
 

@@ -1,0 +1,40 @@
+package telemetry
+
+import "testing"
+
+// The nil-tracer path must add zero allocations to instrumented hot
+// paths. The sequence below mirrors the exact call shapes the
+// instrumentation points use — driver.run's guarded Start, the phase
+// spans in costs(), the plan-cache lookup spans, and the coupling
+// exchanges' Recording guard — so this test is the allocation guard
+// for every nil-tracer call site at once.
+func TestNilTracerPathZeroAllocs(t *testing.T) {
+	var tr *Tracer
+	var parent SpanID
+	avg := testing.AllocsPerRun(200, func() {
+		// driver.run / wrfsim.Run shape: guarded root span.
+		var sp *ActiveSpan
+		if tr.Recording() {
+			sp = tr.Start(parent, "driver.run", LayerDriver)
+		}
+		sp.Annotate("machine", "bgl")
+		parent = sp.ID()
+
+		// costs() / coupling shape: guarded child span with deferred End.
+		if tr.Recording() {
+			ph := tr.Start(parent, "coarse", LayerPhase)
+			defer ph.End()
+		}
+
+		// ensemble worker shape: head-sampling check.
+		if tr.Recording() && tr.Sampled(42) {
+			t.Fatal("nil tracer sampled a member")
+		}
+
+		sp.End()
+		sp.End() // idempotent-End path
+	})
+	if avg != 0 {
+		t.Fatalf("nil-tracer instrumentation sequence: %v allocs per run, want 0", avg)
+	}
+}

@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixedTree builds the same small cross-layer span tree every time,
+// on a deterministic clock, so exports of it are byte-stable.
+func fixedTree() *Tracer {
+	tr := New(Config{Clock: fixedClock()})
+	camp := tr.Start(0, "campaign", LayerCampaign) // start 1
+	camp.Annotate("members", "2")
+	mem := tr.Start(camp.ID(), "member", LayerMember) // start 2
+	mem.Annotate("member", "0")
+	cch := tr.Start(mem.ID(), "plancache.run", LayerCache) // start 3
+	cch.Annotate("outcome", "miss")
+	drv := tr.Start(cch.ID(), "driver.run", LayerDriver) // start 4
+	ph := tr.Start(drv.ID(), "coarse", LayerPhase)       // start 5
+	ph.End()                                             // end 6
+	drv.End()                                            // end 7
+	cch.End()                                            // end 8
+	mem.End()                                            // end 9
+	camp.End()                                           // end 10
+	return tr
+}
+
+func TestDumpRoundTrip(t *testing.T) {
+	tr := fixedTree()
+	d := tr.Dump()
+	var buf bytes.Buffer
+	if err := d.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d, got) {
+		t.Fatalf("round trip mismatch:\nencoded %+v\ndecoded %+v", d, got)
+	}
+}
+
+func TestDecodeDumpRejectsUnknownSchema(t *testing.T) {
+	_, err := DecodeDump(strings.NewReader(`{"schema":"nestwrf/spans/v99","unit":"seconds","spans":[]}`))
+	if err == nil || !strings.Contains(err.Error(), "unsupported span schema") {
+		t.Fatalf("DecodeDump err = %v, want unsupported-schema error", err)
+	}
+	_, err = DecodeDump(strings.NewReader(`{not json`))
+	if err == nil {
+		t.Fatal("DecodeDump accepted malformed JSON")
+	}
+}
+
+func TestChromeLogLaneOrder(t *testing.T) {
+	d := fixedTree().Dump()
+	log := d.ChromeLog()
+	if got := log.Lanes(); !reflect.DeepEqual(got,
+		[]string{LayerCampaign, LayerMember, LayerCache, LayerDriver, LayerPhase}) {
+		t.Fatalf("lanes = %v, want canonical outermost-first order", got)
+	}
+	// Attributes travel as args, plus the span/parent join keys.
+	for _, s := range log.Spans {
+		if s.Args["span"] == "" {
+			t.Fatalf("span %s has no span arg: %v", s.Name, s.Args)
+		}
+		if s.Name != "campaign" && s.Args["parent"] == "" {
+			t.Fatalf("non-root span %s has no parent arg: %v", s.Name, s.Args)
+		}
+	}
+}
+
+// TestChromeGolden pins the Chrome export of the fixed tree byte for
+// byte. Regenerate with `go test ./internal/telemetry -run Golden -update`
+// after a deliberate format change.
+func TestChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixedTree().WriteChrome(&buf, "golden"); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome export drifted from golden file %s:\n--- got ---\n%s\n--- want ---\n%s",
+			golden, buf.Bytes(), want)
+	}
+}

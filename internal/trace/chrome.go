@@ -82,6 +82,7 @@ func WriteChrome(w io.Writer, procs ...ChromeProcess) error {
 			file.TraceEvents = append(file.TraceEvents, chromeEvent{
 				Name: s.Name, Ph: "X", Cat: "phase", Pid: pid, Tid: tids[s.Lane],
 				Ts: int64(math.Round(s.Start * 1e6)), Dur: dur,
+				Args: s.Args,
 			})
 		}
 	}

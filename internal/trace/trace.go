@@ -15,6 +15,10 @@ type Span struct {
 	Name       string
 	Lane       string
 	Start, End float64 // virtual seconds within the iteration
+	// Args, when non-nil, are carried into the Chrome export as the
+	// event's args (key/value annotations visible in Perfetto). The
+	// text renderers ignore them.
+	Args map[string]string
 }
 
 // Log collects spans.

@@ -8,6 +8,7 @@ import (
 	"nestwrf/internal/mpi"
 	"nestwrf/internal/nest"
 	"nestwrf/internal/solver"
+	"nestwrf/internal/telemetry"
 	"nestwrf/internal/vtopo"
 )
 
@@ -139,6 +140,10 @@ func bcPattern(cfg *nest.Domain, grid vtopo.Grid, c *nest.Domain, cgrid vtopo.Gr
 // path recomputes the pattern and allocates fresh payloads every call,
 // as the code did before the plan cache existed.
 func exchangeBC(world *mpi.Comm, grid vtopo.Grid, parent *solver.Tile, nc *nestCtx, cfg *nest.Domain) error {
+	if nc.tracer.Recording() {
+		sp := nc.tracer.Start(nc.span, "bc:"+nc.d.Name, telemetry.LayerPhase)
+		defer sp.End()
+	}
 	pattern, pooled := nc.bcPlan, true
 	if reference.Load() {
 		pattern, pooled = bcPattern(cfg, grid, nc.d, nc.grid, nc.world), false
@@ -375,6 +380,10 @@ func buildFBPlan(cfg *nest.Domain, grid vtopo.Grid, c *nest.Domain, cgrid vtopo.
 // cached on the nest context and pooled payload buffers; the reference
 // path rebuilds the plan and allocates afresh at every call.
 func exchangeFeedback(world *mpi.Comm, grid vtopo.Grid, parent *solver.Tile, nc *nestCtx, cfg *nest.Domain) error {
+	if nc.tracer.Recording() {
+		sp := nc.tracer.Start(nc.span, "fb:"+nc.d.Name, telemetry.LayerPhase)
+		defer sp.End()
+	}
 	tag := tagFeedback + nc.idx
 	if reference.Load() {
 		plan := buildFBPlan(cfg, grid, nc.d, nc.grid, nc.world)

@@ -17,6 +17,7 @@ package wrfsim
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"nestwrf/internal/alloc"
 	"nestwrf/internal/iosim"
@@ -25,6 +26,7 @@ import (
 	"nestwrf/internal/nest"
 	"nestwrf/internal/output"
 	"nestwrf/internal/solver"
+	"nestwrf/internal/telemetry"
 	"nestwrf/internal/vtopo"
 )
 
@@ -62,6 +64,14 @@ type Options struct {
 	IO iosim.Params
 	// IOMode selects collective or split writes.
 	IOMode iosim.Mode
+	// Tracer, when non-nil, records one driver-layer span for the run
+	// (annotated with the per-phase wall-clock breakdown from the mpi
+	// accounting) plus phase-layer coupling spans on rank 0. TraceParent
+	// links the run span under a caller span; zero makes it a root. Nil
+	// keeps the functional hot path allocation-identical to an
+	// uninstrumented build.
+	Tracer      *telemetry.Tracer
+	TraceParent telemetry.SpanID
 }
 
 // Output is the result of a run.
@@ -96,7 +106,7 @@ const (
 )
 
 // Run executes the functional simulation and gathers final states.
-func Run(cfg *nest.Domain, opt Options) (*Output, error) {
+func Run(cfg *nest.Domain, opt Options) (out *Output, err error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -122,6 +132,28 @@ func Run(cfg *nest.Domain, opt Options) (*Output, error) {
 			AggregateBandwidth:  2.0e9,
 			PerProcessBandwidth: 8e6,
 		}
+	}
+
+	var sp *telemetry.ActiveSpan
+	if opt.Tracer.Recording() {
+		sp = opt.Tracer.Start(opt.TraceParent, "wrfsim.run", telemetry.LayerDriver)
+		sp.Annotate("ranks", strconv.Itoa(opt.Ranks))
+		sp.Annotate("steps", strconv.Itoa(opt.Steps))
+		sp.Annotate("strategy", map[Strategy]string{Sequential: "sequential", Concurrent: "concurrent"}[opt.Strategy])
+		opt.TraceParent = sp.ID() // rank-0 coupling spans parent here
+		defer func() {
+			if err != nil {
+				sp.Annotate("error", err.Error())
+			} else if out != nil {
+				// The honest per-phase breakdown: real wall-clock accrued
+				// by the mpi phase accounting, aggregated across ranks.
+				for _, ph := range out.Phases {
+					sp.Annotate("wall:"+ph.Name, strconv.FormatFloat(ph.Sum.Wall, 'g', -1, 64))
+				}
+				sp.Annotate("virtual_makespan", strconv.FormatFloat(out.MaxClock, 'g', -1, 64))
+			}
+			sp.End()
+		}()
 	}
 
 	grid, err := machine.GridFor(opt.Ranks)
@@ -172,7 +204,7 @@ func Run(cfg *nest.Domain, opt Options) (*Output, error) {
 		plans[i] = np
 	}
 
-	out := &Output{Nests: make([]*solver.State, len(cfg.Children))}
+	out = &Output{Nests: make([]*solver.State, len(cfg.Children))}
 	procs, err := mpi.Run(opt.Ranks, opt.TM, func(p *mpi.Proc) error {
 		return rankMain(p, cfg, grid, plans, opt, out)
 	})
@@ -222,6 +254,12 @@ type nestCtx struct {
 	bcPlan     []*bcTransfer
 	fbPlan     *fbPlan
 	fbPayloads [][]float64
+
+	// tracer/span, when set (rank 0 of a traced run only), wrap each
+	// coupling exchange in a phase-layer span under the run span. The
+	// zero value keeps the coupled step allocation-free.
+	tracer *telemetry.Tracer
+	span   telemetry.SpanID
 }
 
 // bcCell is one child halo cell awaiting a parent value.
@@ -255,6 +293,13 @@ func rankMain(p *mpi.Proc, cfg *nest.Domain, grid vtopo.Grid, plans []*nestPlans
 			grid: np.grid, world: np.world, phase: np.phase,
 			bcPlan: np.bc, fbPlan: np.fb,
 			fbPayloads: make([][]float64, len(np.fb.transfers)),
+		}
+		if me == 0 && opt.Tracer.Recording() {
+			// Only rank 0 emits coupling spans: one tracing rank keeps
+			// the export readable and the buffer O(steps), while the
+			// other ranks run the untraced (zero-alloc) path.
+			nc.tracer = opt.Tracer
+			nc.span = opt.TraceParent
 		}
 		// Local rank within the nest, if a member.
 		local := -1
