@@ -182,3 +182,32 @@ func BenchmarkFunctional(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFunctionalRanks sweeps the functional mini-WRF from 32 up
+// to the paper's full 8192-rank BG/P scale on the paper's Table 2
+// multi-sibling domain (the only fixture whose domains decompose at
+// every size). Every size executes the real message-passing run — the
+// sweep exists to prove the sharded mpi runtime sustains the paper's
+// largest configuration end to end, and to pin its real-time cost.
+func BenchmarkFunctionalRanks(b *testing.B) {
+	cfg := benchConfig()
+	for _, ranks := range []int{32, 128, 512, 2048, 8192} {
+		b.Run(strconv.Itoa(ranks), func(b *testing.B) {
+			var clock float64
+			for i := 0; i < b.N; i++ {
+				out, err := nestwrf.RunFunctional(cfg, nestwrf.FunctionalOptions{
+					Ranks:     ranks,
+					Steps:     1,
+					Strategy:  nestwrf.FunctionalConcurrent,
+					PointCost: 1e-6,
+					TM:        nestwrf.AlphaBeta{Alpha: 5e-5, Beta: 1e-9},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				clock = out.MaxClock
+			}
+			b.ReportMetric(clock*1e3, "sim-ms")
+		})
+	}
+}

@@ -9,14 +9,20 @@
 // Virtual time is deterministic: a message's arrival time depends only
 // on the sender's clock and the time model, never on goroutine
 // scheduling.
+//
+// The runtime is sharded for scale (DESIGN.md Section 13): each rank
+// owns a private mailbox (lock + condition variable), the
+// blocked/queued/alive bookkeeping is atomic, and payload pools are
+// lock-striped, so worlds of 10k+ virtual ranks run without funneling
+// every operation through one mutex. The previous single-mutex runtime
+// is retained behind SetReference and produces bit-identical virtual
+// clocks, wait times and results.
 package mpi
 
 import (
-	"errors"
-	"fmt"
-	"math/bits"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -72,94 +78,174 @@ type msgq struct {
 	head int
 }
 
-// payloadClasses is the number of power-of-two payload size classes the
-// world pool keeps (class c holds buffers with capacity >= 1<<c).
-const payloadClasses = 31
-
-// payloadClass returns the class whose buffers can hold n floats:
-// the smallest c with 1<<c >= n.
-func payloadClass(n int) int {
-	if n <= 1 {
-		return 0
+// pop removes and returns the queue's head message. The caller must
+// have checked that the queue is non-empty.
+func (q *msgq) pop() *message {
+	msg := q.q[q.head]
+	q.q[q.head] = nil
+	q.head++
+	if q.head == len(q.q) {
+		q.q = q.q[:0]
+		q.head = 0
 	}
-	return bits.Len(uint(n - 1))
+	return msg
 }
+
+// reference selects the retained single-mutex runtime: one world-wide
+// lock over mailboxes, pools and the blocked/queued/alive counters,
+// exactly as the code stood before the sharded runtime. The sharded
+// and reference runtimes are bit-identical in every virtual-time
+// observable (clocks, wait times, per-phase stats, results) and
+// guarded by equivalence tests; only real-time scalability differs.
+// The flag is atomic so toggling it (tests only) is race-free against
+// concurrently running worlds, and it is captured once per Run so a
+// mid-run flip cannot mix the two runtimes inside one world.
+var reference atomic.Bool
+
+// SetReference enables (true) or disables (false) the retained
+// unsharded runtime. Only tests should call this.
+func SetReference(on bool) { reference.Store(on) }
 
 // World is one simulated job: n ranks plus shared mailboxes.
 //
-// Wakeups are targeted (DESIGN.md Section 8): each rank blocks on its
-// own condition variable, so a delivery wakes exactly the receiving
-// rank instead of broadcasting to every blocked goroutine — the
-// thundering herd the previous single world-wide sync.Cond caused.
+// In the sharded runtime each rank owns a mailbox with its own lock
+// and condition variable: senders lock exactly the destination rank's
+// mailbox and a delivery wakes exactly the receiving rank, so traffic
+// between disjoint rank pairs never contends. Deadlock bookkeeping
+// (blocked/queued/alive) is atomic, checked lock-free on the blocking
+// path and confirmed under a small detector mutex before declaring.
+//
+// The retained reference runtime keeps the original design: one
+// world-wide mutex guarding per-rank queues, per-rank condition
+// variables all sharing that mutex, and plain counters.
 type World struct {
-	n     int
-	tm    TimeModel
-	mu    sync.Mutex
-	conds []*sync.Cond                // per-rank wakeups, all sharing mu
-	boxes []map[matchKey]*msgq        // per receiver global rank
-	pools [payloadClasses][][]float64 // payload free lists by size class
+	n   int
+	tm  TimeModel
+	ref bool // retained single-mutex runtime (SetReference)
+
+	// commSeq allocates world-unique communicator ids (world is 0).
+	commSeq atomic.Int64
+	// splitRanks caches the canonical global-rank list of every
+	// communicator created by Split, keyed by comm id. The split root
+	// registers each group's list once; every member aliases it
+	// read-only, so a split is O(n) total instead of O(n) per rank.
+	splitRanks sync.Map
+
+	// --- sharded runtime state ---
+
+	mboxes []mailbox
+	// classes are the per-size-class overflow pools; localHits and
+	// localFrees accumulate exited ranks' private-cache counters.
+	classes               [payloadClasses]classPool
+	localHits, localFrees atomic.Uint64
+	// packed holds blocked<<32 | queued in one atomic word so the
+	// deadlock predicate reads a consistent snapshot of both counters.
 	// blocked counts ranks currently waiting in Recv; queued counts
-	// undelivered messages. When every live rank is blocked and nothing
-	// is queued, the job is deadlocked.
+	// undelivered messages (incremented before a message becomes
+	// visible, decremented atomically with the receiver's unblock).
+	packed   atomic.Int64
+	aliveS   atomic.Int64
+	failedS  atomic.Bool
+	detectMu sync.Mutex // serializes deadlock confirmation
+	failErrS error      // under detectMu; read only after failedS is set
+
+	// --- reference runtime state ---
+
+	mu      sync.Mutex
+	conds   []*sync.Cond // per-rank wakeups, all sharing mu
+	boxes   []map[matchKey]*msgq
+	pool    freeLists // single payload pool, guarded by mu
+	waits   []waitRecord
 	blocked int
 	queued  int
 	alive   int
 	failed  bool
-	commSeq int
+	failErr error
 }
 
-// allocPayload returns a length-n scratch slice drawn from the world
-// pool (or freshly allocated when the pool has nothing large enough).
-// Contents are unspecified; callers overwrite every element.
-func (w *World) allocPayload(n int) []float64 {
-	if n == 0 {
-		return nil
+// Run executes fn on n ranks and blocks until all complete. It returns
+// the first error any rank produced (or a deadlock error). The returned
+// procs expose final clocks and wait times, indexed by rank.
+//
+// Setup is O(n) total: every rank's world communicator aliases one
+// shared read-only rank list (the previous per-rank copies were O(n²),
+// half a gigabyte at 8192 ranks).
+func Run(n int, tm TimeModel, fn func(p *Proc) error) ([]*Proc, error) {
+	if n <= 0 {
+		return nil, errBadRanks(n)
 	}
-	c := payloadClass(n)
-	if c >= payloadClasses {
-		return make([]float64, n)
+	w := &World{n: n, tm: tm, ref: reference.Load()}
+	w.commSeq.Store(1)
+	worldRanks := make([]int, n)
+	for i := range worldRanks {
+		worldRanks[i] = i
 	}
-	w.mu.Lock()
-	if s := w.pools[c]; len(s) > 0 {
-		b := s[len(s)-1]
-		s[len(s)-1] = nil
-		w.pools[c] = s[:len(s)-1]
+	if w.ref {
+		w.alive = n
+		w.conds = make([]*sync.Cond, n)
+		w.boxes = make([]map[matchKey]*msgq, n)
+		w.waits = make([]waitRecord, n)
+		for i := range w.boxes {
+			w.conds[i] = sync.NewCond(&w.mu)
+			w.boxes[i] = make(map[matchKey]*msgq)
+		}
+	} else {
+		w.aliveS.Store(int64(n))
+		w.mboxes = make([]mailbox, n)
+		for i := range w.mboxes {
+			mb := &w.mboxes[i]
+			mb.cond.L = &mb.mu
+			mb.boxes = make(map[matchKey]*msgq)
+		}
+	}
+	procs := make([]*Proc, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	caches := make([]rankCache, n) // sharded runtime per-rank payload caches
+	for r := 0; r < n; r++ {
+		p := &Proc{w: w, rank: r}
+		if !w.ref {
+			p.pcache = &caches[r]
+		}
+		p.world = &Comm{w: w, id: 0, ranks: worldRanks, me: r, proc: p}
+		procs[r] = p
+		go func(r int) {
+			defer wg.Done()
+			defer w.rankExit(procs[r])
+			errs[r] = fn(procs[r])
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return procs, err
+		}
+	}
+	return procs, nil
+}
+
+// rankExit records one rank's completion. A rank's exit can complete
+// the deadlock condition for the remaining blocked ranks; wake them so
+// they re-check. In a clean run nothing is blocked here and no one is
+// woken.
+func (w *World) rankExit(p *Proc) {
+	if w.ref {
+		w.mu.Lock()
+		w.alive--
+		if w.failed || (w.blocked >= w.alive && w.queued == 0) {
+			w.wakeAll()
+		}
 		w.mu.Unlock()
-		return b[:n]
-	}
-	w.mu.Unlock()
-	return make([]float64, n, 1<<c)
-}
-
-// freePayload returns a buffer to the world pool. The caller must not
-// touch b afterwards, and must not free the same buffer twice.
-func (w *World) freePayload(b []float64) {
-	c := cap(b)
-	if c == 0 {
 		return
 	}
-	// Floor class: every pooled buffer satisfies cap >= 1<<class, which
-	// is exactly what allocPayload's ceiling class requires.
-	cl := bits.Len(uint(c)) - 1
-	if cl >= payloadClasses {
-		return
-	}
-	w.mu.Lock()
-	w.pools[cl] = append(w.pools[cl], b[:0])
-	w.mu.Unlock()
-}
-
-// wakeAll signals every rank's condition variable. Called with mu held,
-// and only on failure/deadlock paths — never in steady state.
-func (w *World) wakeAll() {
-	for _, c := range w.conds {
-		c.Broadcast()
+	w.foldRankCache(p.pcache)
+	alive := w.aliveS.Add(-1)
+	st := w.packed.Load()
+	if w.failedS.Load() || (st>>32 >= alive && st&queuedMask == 0) {
+		w.wakeAllSharded()
 	}
 }
-
-// ErrDeadlock is reported when every rank is blocked in Recv with no
-// messages in flight.
-var ErrDeadlock = errors.New("mpi: deadlock: all ranks blocked in Recv with empty queues")
 
 // PhaseStats aggregates one rank's virtual-time activity within one
 // named phase: where the time went (compute vs. blocked wait vs.
@@ -217,67 +303,22 @@ type Proc struct {
 	curAt    time.Time // wall-clock entry into the current phase
 	phases   []Phase
 	phaseIdx map[string]int
+
+	// pcache is the rank's private payload cache (sharded runtime
+	// only; nil under SetReference). See pool.go.
+	pcache *rankCache
 }
 
 // Comm is a communicator: an ordered group of global ranks. Local rank
-// i of the communicator is ranks[i].
+// i of the communicator is ranks[i]. The ranks slice is shared
+// read-only: every member of a communicator aliases one canonical
+// list.
 type Comm struct {
 	w     *World
 	id    int
 	ranks []int
 	me    int // local rank of the owning Proc
 	proc  *Proc
-}
-
-// Run executes fn on n ranks and blocks until all complete. It returns
-// the first error any rank produced (or a deadlock error). The returned
-// procs expose final clocks and wait times, indexed by rank.
-func Run(n int, tm TimeModel, fn func(p *Proc) error) ([]*Proc, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("mpi: need at least 1 rank, got %d", n)
-	}
-	w := &World{n: n, tm: tm, alive: n, commSeq: 1}
-	w.conds = make([]*sync.Cond, n)
-	w.boxes = make([]map[matchKey]*msgq, n)
-	for i := range w.boxes {
-		w.conds[i] = sync.NewCond(&w.mu)
-		w.boxes[i] = make(map[matchKey]*msgq)
-	}
-	procs := make([]*Proc, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	for r := 0; r < n; r++ {
-		p := &Proc{w: w, rank: r}
-		ranks := make([]int, n)
-		for i := range ranks {
-			ranks[i] = i
-		}
-		p.world = &Comm{w: w, id: 0, ranks: ranks, me: r, proc: p}
-		procs[r] = p
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			defer func() {
-				w.mu.Lock()
-				w.alive--
-				// A rank's exit can complete the deadlock condition for the
-				// remaining blocked ranks; wake them so they re-check. In a
-				// clean run nothing is blocked here and no one is woken.
-				if w.failed || (w.blocked >= w.alive && w.queued == 0) {
-					w.wakeAll()
-				}
-				w.mu.Unlock()
-			}()
-			errs[r] = fn(procs[r])
-		}(r)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return procs, err
-		}
-	}
-	return procs, nil
 }
 
 // Rank returns the global rank of p.
@@ -295,6 +336,10 @@ func (p *Proc) Clock() float64 { return p.clock }
 // WaitTime returns the accumulated virtual time spent blocked in
 // Recv/Wait — the MPI_Wait time of the paper's measurements.
 func (p *Proc) WaitTime() float64 { return p.wait }
+
+// PoolStats returns the world's payload-pool counters (see
+// World.PoolStats).
+func (p *Proc) PoolStats() PoolStats { return p.w.PoolStats() }
 
 // BeginPhase opens (or re-opens) the named per-rank accounting phase:
 // subsequent Compute, Send and Recv activity on this rank accrues to
@@ -390,7 +435,7 @@ func (c *Comm) Global(r int) int { return c.ranks[r] }
 // clock advances by the local share of the transfer. The payload is
 // copied (into a pooled buffer), so the caller keeps ownership of data.
 func (c *Comm) Send(to, tag int, data []float64) {
-	buf := c.w.allocPayload(len(data))
+	buf := c.w.allocPayload(c.proc, len(data))
 	copy(buf, data)
 	c.SendOwned(to, tag, buf)
 }
@@ -416,77 +461,55 @@ func (c *Comm) SendOwned(to, tag int, data []float64) {
 		p.cur.SendCount++
 		p.cur.SendBytes += bytes
 	}
-	w := c.w
-	w.mu.Lock()
 	key := matchKey{src: p.rank, tag: tag, comm: c.id}
-	q, ok := w.boxes[dst][key]
-	if !ok {
-		q = &msgq{}
-		w.boxes[dst][key] = q
+	if c.w.ref {
+		c.w.refSend(dst, key, msg)
+	} else {
+		c.w.shardSend(dst, key, msg)
 	}
-	q.q = append(q.q, msg)
-	w.queued++
-	w.conds[dst].Signal() // wake only the receiver, not the whole world
-	w.mu.Unlock()
 }
 
 // AllocPayload returns a length-n scratch slice from the world's
 // payload pool, for building a message passed to SendOwned. Contents
 // are unspecified.
-func (c *Comm) AllocPayload(n int) []float64 { return c.w.allocPayload(n) }
+func (c *Comm) AllocPayload(n int) []float64 { return c.w.allocPayload(c.proc, n) }
 
 // FreePayload recycles a payload (typically one returned by Recv) into
 // the world pool. The caller must be done with it, and must not free
 // the same slice twice.
-func (c *Comm) FreePayload(b []float64) { c.w.freePayload(b) }
+func (c *Comm) FreePayload(b []float64) { c.w.freePayload(c.proc, b) }
 
 // Recv blocks until a message with the given source (local rank) and
 // tag arrives, advances the virtual clock to the arrival time, and
 // accounts blocked time as wait time.
 func (c *Comm) Recv(from, tag int) ([]float64, error) {
 	p := c.proc
-	src := c.ranks[from]
-	key := matchKey{src: src, tag: tag, comm: c.id}
-	w := c.w
-	w.mu.Lock()
-	w.blocked++
-	for {
-		if q, ok := w.boxes[p.rank][key]; ok && q.head < len(q.q) {
-			msg := q.q[q.head]
-			q.q[q.head] = nil
-			q.head++
-			if q.head == len(q.q) {
-				q.q = q.q[:0]
-				q.head = 0
-			}
-			w.queued--
-			w.blocked--
-			w.mu.Unlock()
-			data, arrival := msg.data, msg.arrival
-			msg.data = nil // payload ownership passes to the receiver
-			msgPool.Put(msg)
-			if arrival > p.clock {
-				if p.cur != nil {
-					p.cur.Wait += arrival - p.clock
-				}
-				p.wait += arrival - p.clock
-				p.clock = arrival
-			}
-			if p.cur != nil {
-				p.cur.RecvCount++
-				p.cur.RecvBytes += 8 * len(data)
-			}
-			return data, nil
-		}
-		if w.failed || (w.blocked >= w.alive && w.queued == 0) {
-			w.failed = true
-			w.blocked--
-			w.wakeAll()
-			w.mu.Unlock()
-			return nil, ErrDeadlock
-		}
-		w.conds[p.rank].Wait()
+	key := matchKey{src: c.ranks[from], tag: tag, comm: c.id}
+	var msg *message
+	var err error
+	if c.w.ref {
+		msg, err = c.w.refRecv(p, key)
+	} else {
+		msg, err = c.w.shardRecv(p, key)
 	}
+	if err != nil {
+		return nil, err
+	}
+	data, arrival := msg.data, msg.arrival
+	msg.data = nil // payload ownership passes to the receiver
+	msgPool.Put(msg)
+	if arrival > p.clock {
+		if p.cur != nil {
+			p.cur.Wait += arrival - p.clock
+		}
+		p.wait += arrival - p.clock
+		p.clock = arrival
+	}
+	if p.cur != nil {
+		p.cur.RecvCount++
+		p.cur.RecvBytes += 8 * len(data)
+	}
+	return data, nil
 }
 
 // Request is a handle for a nonblocking operation.
@@ -555,25 +578,27 @@ func (c *Comm) Barrier() error {
 			if err != nil {
 				return err
 			}
-			c.w.freePayload(d)
+			c.FreePayload(d)
 		}
 		for r := 1; r < c.Size(); r++ {
-			c.SendOwned(r, tagBarrier, c.w.allocPayload(0))
+			c.SendOwned(r, tagBarrier, c.AllocPayload(0))
 		}
 		return nil
 	}
-	c.SendOwned(0, tagBarrier, c.w.allocPayload(0))
+	c.SendOwned(0, tagBarrier, c.AllocPayload(0))
 	d, err := c.Recv(0, tagBarrier)
 	if err != nil {
 		return err
 	}
-	c.w.freePayload(d)
+	c.FreePayload(d)
 	return nil
 }
 
 // gatherScatter funnels per-rank payloads to local root 0, applies
 // combine (if non-nil), and scatters the result back. It is the
-// backbone of the collectives.
+// backbone of the value collectives. Received payloads are recycled
+// into the world pool after combining (the root's own payload at
+// index 0 stays caller-owned).
 func (c *Comm) gatherScatter(tag int, payload []float64, combine func([][]float64) []float64) ([]float64, error) {
 	if c.me == 0 {
 		all := make([][]float64, c.Size())
@@ -588,6 +613,9 @@ func (c *Comm) gatherScatter(tag int, payload []float64, combine func([][]float6
 		var res []float64
 		if combine != nil {
 			res = combine(all)
+		}
+		for r := 1; r < c.Size(); r++ {
+			c.FreePayload(all[r])
 		}
 		for r := 1; r < c.Size(); r++ {
 			c.Send(r, tag, res)
@@ -669,101 +697,94 @@ func (c *Comm) Gather(payload []float64) ([][]float64, error) {
 // Split partitions the communicator by color, ordering members by
 // (key, current local rank), like MPI_Comm_split. Every rank must call
 // it. Ranks passing a negative color receive nil (MPI_UNDEFINED).
+//
+// The exchange is O(n) total: members send their (color, key) to the
+// local root, which computes the groups, registers each group's
+// canonical global-rank list in the world's split cache exactly once,
+// and answers every member with a fixed-size (id, local rank)
+// assignment. Members alias the canonical list — no per-rank copies of
+// the membership table, which previously made a world-wide split
+// O(n²) in both payload bytes and memory.
 func (c *Comm) Split(color, key int) (*Comm, error) {
-	// Gather (color, key) at local root 0.
-	res, err := c.gatherScatter(tagSplit, []float64{float64(color), float64(key)},
-		func(all [][]float64) []float64 {
-			// Encode: for each member, its new comm id and the flattened
-			// member list boundaries. Root assigns ids deterministically by
-			// ascending color.
-			type member struct{ rank, color, key int }
-			ms := make([]member, len(all))
-			for r, d := range all {
-				ms[r] = member{rank: r, color: int(d[0]), key: int(d[1])}
-			}
-			colors := map[int][]member{}
-			for _, m := range ms {
-				if m.color >= 0 {
-					colors[m.color] = append(colors[m.color], m)
-				}
-			}
-			var order []int
-			for col := range colors {
-				order = append(order, col)
-			}
-			sort.Ints(order)
-			// Payload layout: n, then per world-local-rank: (groupIndex or
-			// -1), then groups: count, then for each group: size, members...
-			out := []float64{float64(len(all))}
-			assignment := make([]int, len(all))
-			for i := range assignment {
-				assignment[i] = -1
-			}
-			for gi, col := range order {
-				members := colors[col]
-				sort.Slice(members, func(a, b int) bool {
-					if members[a].key != members[b].key {
-						return members[a].key < members[b].key
-					}
-					return members[a].rank < members[b].rank
-				})
-				colors[col] = members
-				for _, m := range members {
-					assignment[m.rank] = gi
-				}
-			}
-			for _, a := range assignment {
-				out = append(out, float64(a))
-			}
-			// Allocate world-unique communicator ids for the groups.
-			c.w.mu.Lock()
-			firstID := c.w.commSeq
-			c.w.commSeq += len(order)
-			c.w.mu.Unlock()
-			out = append(out, float64(len(order)))
-			for gi, col := range order {
-				out = append(out, float64(firstID+gi), float64(len(colors[col])))
-				for _, m := range colors[col] {
-					out = append(out, float64(m.rank))
-				}
-			}
-			return out
-		})
-	if err != nil {
-		return nil, err
+	w := c.w
+	if c.me != 0 {
+		req := c.AllocPayload(2)
+		req[0], req[1] = float64(color), float64(key)
+		c.SendOwned(0, tagSplit, req)
+		res, err := c.Recv(0, tagSplit)
+		if err != nil {
+			return nil, err
+		}
+		id, me := int(res[0]), int(res[1])
+		c.FreePayload(res)
+		if id < 0 {
+			return nil, nil
+		}
+		ranks, ok := w.splitRanks.Load(id)
+		if !ok {
+			// Unreachable: the root registers every group before
+			// answering any member.
+			return nil, errSplitCache(id)
+		}
+		return &Comm{w: w, id: id, ranks: ranks.([]int), me: me, proc: c.proc}, nil
 	}
-	// Decode.
-	n := int(res[0])
-	assignment := res[1 : 1+n]
-	gi := int(assignment[c.me])
-	if gi < 0 {
+
+	// Root: gather (color, key) in local-rank order.
+	type member struct{ rank, color, key int }
+	ms := make([]member, c.Size())
+	ms[0] = member{0, color, key}
+	for r := 1; r < c.Size(); r++ {
+		d, err := c.Recv(r, tagSplit)
+		if err != nil {
+			return nil, err
+		}
+		ms[r] = member{rank: r, color: int(d[0]), key: int(d[1])}
+		c.FreePayload(d)
+	}
+	colors := map[int][]member{}
+	var order []int
+	for _, m := range ms {
+		if m.color >= 0 {
+			if _, ok := colors[m.color]; !ok {
+				order = append(order, m.color)
+			}
+			colors[m.color] = append(colors[m.color], m)
+		}
+	}
+	sort.Ints(order)
+	// Allocate world-unique communicator ids for the groups, assigned
+	// deterministically by ascending color.
+	firstID := int(w.commSeq.Add(int64(len(order)))) - len(order)
+	type assign struct{ id, me int }
+	asg := make([]assign, c.Size())
+	for i := range asg {
+		asg[i] = assign{id: -1}
+	}
+	for gi, col := range order {
+		members := colors[col]
+		sort.Slice(members, func(a, b int) bool {
+			if members[a].key != members[b].key {
+				return members[a].key < members[b].key
+			}
+			return members[a].rank < members[b].rank
+		})
+		id := firstID + gi
+		globals := make([]int, len(members))
+		for i, m := range members {
+			globals[i] = c.ranks[m.rank]
+			asg[m.rank] = assign{id: id, me: i}
+		}
+		w.splitRanks.Store(id, globals)
+	}
+	for r := 1; r < c.Size(); r++ {
+		res := c.AllocPayload(2)
+		res[0], res[1] = float64(asg[r].id), float64(asg[r].me)
+		c.SendOwned(r, tagSplit, res)
+	}
+	a := asg[0]
+	if a.id < 0 {
 		return nil, nil
 	}
-	pos := 1 + n
-	numGroups := int(res[pos])
-	pos++
-	var groups [][]int
-	var ids []int
-	for g := 0; g < numGroups; g++ {
-		ids = append(ids, int(res[pos]))
-		size := int(res[pos+1])
-		pos += 2
-		members := make([]int, size)
-		for i := 0; i < size; i++ {
-			members[i] = int(res[pos])
-			pos++
-		}
-		groups = append(groups, members)
-	}
-	members := groups[gi]
-	// Translate parent-local ranks to global ranks and find my position.
-	globals := make([]int, len(members))
-	me := -1
-	for i, r := range members {
-		globals[i] = c.ranks[r]
-		if r == c.me {
-			me = i
-		}
-	}
-	return &Comm{w: c.w, id: ids[gi], ranks: globals, me: me, proc: c.proc}, nil
+	ranks, _ := w.splitRanks.Load(a.id)
+	return &Comm{w: w, id: a.id, ranks: ranks.([]int), me: a.me, proc: c.proc}, nil
 }

@@ -1,0 +1,284 @@
+package mpi
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Payload pooling. Buffers are size-classed by power of two and
+// recycled through free lists. Payloads flow sender → receiver, so the
+// sharded runtime pools in two tiers chosen to keep supply and demand
+// meeting without a global lock:
+//
+//   - a lock-free per-rank cache (only the owning goroutine touches
+//     it), which absorbs the symmetric steady state — halo and
+//     coupling exchanges where a rank frees about what it allocates
+//     each step;
+//   - per-size-class locked overflow lists for the asymmetric residue.
+//     Sharding the overflow by class (not by rank) matters: a class's
+//     frees and allocs always meet in the same list, so cross-rank
+//     producer/consumer flows still recycle, while different classes
+//     never contend with each other.
+//
+// The reference runtime keeps the original single set of lists under
+// the world mutex. Both runtimes bound every free list per size class
+// so a bursty phase cannot pin its peak buffer population forever, and
+// both count hits/misses/frees/drops for World.PoolStats.
+
+// payloadClasses is the number of power-of-two payload size classes the
+// world pool keeps (class c holds buffers with capacity >= 1<<c).
+const payloadClasses = 31
+
+// payloadClass returns the class whose buffers can hold n floats:
+// the smallest c with 1<<c >= n.
+func payloadClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// classCap bounds one size class's overflow free-list length: small
+// buffers are cheap to keep in quantity, large ones are capped hard so
+// the worst-case retained memory stays bounded no matter how bursty a
+// phase was.
+func classCap(c int) int {
+	switch {
+	case c <= 12: // <= 32 KiB buffers
+		return 64
+	case c <= 18: // <= 2 MiB buffers
+		return 8
+	default:
+		return 2
+	}
+}
+
+// rankCacheCap bounds one size class in a rank's private cache. Kept
+// small: across 10k ranks even a few buffers per class add up, and
+// anything beyond the cap still pools via the overflow lists.
+func rankCacheCap(c int) int {
+	switch {
+	case c <= 12:
+		return 2
+	case c <= 18:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// rankCache is one rank's private payload cache. Only the owning
+// goroutine touches it (no lock); its counters and leftover buffers
+// fold into the world pool when the rank exits.
+type rankCache struct {
+	free        [payloadClasses][][]float64
+	hits, frees uint64
+}
+
+// classPool is one size class's overflow free list with its own lock,
+// padded apart so neighboring classes' locks do not false-share.
+type classPool struct {
+	mu                         sync.Mutex
+	free                       [][]float64
+	hits, misses, frees, drops uint64
+	_                          [40]byte
+}
+
+// freeLists is the reference runtime's single set of size-classed free
+// lists plus counters, guarded by the world mutex.
+type freeLists struct {
+	free                       [payloadClasses][][]float64
+	hits, misses, frees, drops uint64
+}
+
+// alloc pops a buffer of class c (caller computed it for n), or
+// returns nil on a pool miss. Caller holds the world mutex.
+func (f *freeLists) alloc(n, c int) []float64 {
+	if s := f.free[c]; len(s) > 0 {
+		b := s[len(s)-1]
+		s[len(s)-1] = nil
+		f.free[c] = s[:len(s)-1]
+		f.hits++
+		return b[:n]
+	}
+	f.misses++
+	return nil
+}
+
+// put recycles a buffer into floor class cl, dropping it when the
+// class is at capacity. Caller holds the world mutex.
+func (f *freeLists) put(b []float64, cl int) {
+	if len(f.free[cl]) >= classCap(cl) {
+		f.drops++
+		return
+	}
+	f.frees++
+	f.free[cl] = append(f.free[cl], b[:0])
+}
+
+// allocPayload returns a length-n scratch slice drawn from the world
+// pool (or freshly allocated on a pool miss or an over-sized request).
+// Contents are unspecified; callers overwrite every element.
+func (w *World) allocPayload(p *Proc, n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	c := payloadClass(n)
+	if c >= payloadClasses {
+		return make([]float64, n)
+	}
+	if w.ref {
+		w.mu.Lock()
+		b := w.pool.alloc(n, c)
+		w.mu.Unlock()
+		if b != nil {
+			return b
+		}
+		return make([]float64, n, 1<<c)
+	}
+	if rc := p.pcache; rc != nil {
+		if s := rc.free[c]; len(s) > 0 {
+			b := s[len(s)-1]
+			s[len(s)-1] = nil
+			rc.free[c] = s[:len(s)-1]
+			rc.hits++
+			return b[:n]
+		}
+	}
+	cp := &w.classes[c]
+	cp.mu.Lock()
+	if s := cp.free; len(s) > 0 {
+		b := s[len(s)-1]
+		s[len(s)-1] = nil
+		cp.free = s[:len(s)-1]
+		cp.hits++
+		cp.mu.Unlock()
+		return b[:n]
+	}
+	cp.misses++
+	cp.mu.Unlock()
+	return make([]float64, n, 1<<c)
+}
+
+// freePayload returns a buffer to the world pool. The caller must not
+// touch b afterwards, and must not free the same buffer twice.
+func (w *World) freePayload(p *Proc, b []float64) {
+	c := cap(b)
+	if c == 0 {
+		return
+	}
+	// Floor class: every pooled buffer satisfies cap >= 1<<class, which
+	// is exactly what allocPayload's ceiling class requires.
+	cl := bits.Len(uint(c)) - 1
+	if cl >= payloadClasses {
+		return
+	}
+	if w.ref {
+		w.mu.Lock()
+		w.pool.put(b, cl)
+		w.mu.Unlock()
+		return
+	}
+	if rc := p.pcache; rc != nil && len(rc.free[cl]) < rankCacheCap(cl) {
+		rc.frees++
+		rc.free[cl] = append(rc.free[cl], b[:0])
+		return
+	}
+	cp := &w.classes[cl]
+	cp.mu.Lock()
+	if len(cp.free) >= classCap(cl) {
+		cp.drops++
+		cp.mu.Unlock()
+		return
+	}
+	cp.frees++
+	cp.free = append(cp.free, b[:0])
+	cp.mu.Unlock()
+}
+
+// foldRankCache folds an exiting rank's private cache into the
+// overflow lists and the world's folded counters, so post-run
+// PoolStats sees the complete picture.
+func (w *World) foldRankCache(rc *rankCache) {
+	w.localHits.Add(rc.hits)
+	w.localFrees.Add(rc.frees)
+	for cl := range rc.free {
+		lst := rc.free[cl]
+		if len(lst) == 0 {
+			continue
+		}
+		cp := &w.classes[cl]
+		cp.mu.Lock()
+		for _, b := range lst {
+			if len(cp.free) >= classCap(cl) {
+				cp.drops++
+				continue
+			}
+			cp.free = append(cp.free, b)
+		}
+		cp.mu.Unlock()
+		rc.free[cl] = nil
+	}
+}
+
+// PoolStats describes the world payload pool: how traffic hit the free
+// lists and what the lists currently retain.
+type PoolStats struct {
+	// Hits and Misses count allocPayload requests served from a free
+	// list (per-rank cache or shared lists) vs. freshly allocated.
+	Hits, Misses uint64
+	// Frees counts buffers recycled into the lists; Drops counts
+	// buffers discarded because their size class was at capacity.
+	Frees, Drops uint64
+	// Buffers and Bytes describe the currently retained free-list
+	// population (excluding ranks' private caches until they exit).
+	Buffers int
+	Bytes   int64
+}
+
+// HitRate returns the fraction of pool requests served from a free
+// list (0 when there were no requests).
+func (s PoolStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// PoolStats snapshots the world's payload-pool counters. Safe to call
+// concurrently with a running world (the snapshot is per-class
+// consistent, not globally atomic); per-rank cache activity folds in
+// when each rank exits, so post-run snapshots are complete.
+func (w *World) PoolStats() PoolStats {
+	var s PoolStats
+	if w.ref {
+		w.mu.Lock()
+		f := &w.pool
+		s.Hits, s.Misses, s.Frees, s.Drops = f.hits, f.misses, f.frees, f.drops
+		for _, lst := range f.free {
+			s.Buffers += len(lst)
+			for _, b := range lst {
+				s.Bytes += int64(8 * cap(b))
+			}
+		}
+		w.mu.Unlock()
+		return s
+	}
+	s.Hits = w.localHits.Load()
+	s.Frees = w.localFrees.Load()
+	for c := range w.classes {
+		cp := &w.classes[c]
+		cp.mu.Lock()
+		s.Hits += cp.hits
+		s.Misses += cp.misses
+		s.Frees += cp.frees
+		s.Drops += cp.drops
+		s.Buffers += len(cp.free)
+		for _, b := range cp.free {
+			s.Bytes += int64(8 * cap(b))
+		}
+		cp.mu.Unlock()
+	}
+	return s
+}

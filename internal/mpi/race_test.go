@@ -1,0 +1,7 @@
+//go:build race
+
+package mpi
+
+// raceEnabled reports that this build runs under the race detector,
+// which multiplies the memory and time cost of high-rank worlds.
+const raceEnabled = true

@@ -1,0 +1,264 @@
+package mpi
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+)
+
+// mixedProgram exercises every runtime feature whose virtual-time
+// behavior must match between the sharded and reference runtimes:
+// point-to-point rings with per-rank payload sizes and compute,
+// phase accounting, barriers, reductions, splits and sub-communicator
+// traffic.
+func mixedProgram(n int) func(p *Proc) error {
+	return func(p *Proc) error {
+		w := p.World()
+		me := w.Rank()
+		p.BeginPhase("ring")
+		for it := 0; it < 3; it++ {
+			buf := w.AllocPayload(16 + 8*(me%4))
+			for i := range buf {
+				buf[i] = float64(me*1000 + it)
+			}
+			w.SendOwned((me+1)%n, 7, buf)
+			d, err := w.Recv((me+n-1)%n, 7)
+			if err != nil {
+				return err
+			}
+			p.Compute(float64(me%5) * 1e-6)
+			w.FreePayload(d)
+		}
+		p.BeginPhase("collectives")
+		if err := w.Barrier(); err != nil {
+			return err
+		}
+		if _, err := w.Allreduce(OpSum, []float64{float64(me), 1}); err != nil {
+			return err
+		}
+		sub, err := w.Split(me%2, me)
+		if err != nil {
+			return err
+		}
+		if sn := sub.Size(); sn > 1 {
+			sub.Send((sub.Rank()+1)%sn, 9, []float64{float64(me)})
+			d, err := sub.Recv((sub.Rank()+sn-1)%sn, 9)
+			if err != nil {
+				return err
+			}
+			sub.FreePayload(d)
+		}
+		return sub.Barrier()
+	}
+}
+
+// runSnapshot captures every virtual-time observable of a finished
+// run. Wall is real time and legitimately varies, so it is zeroed.
+type runSnapshot struct {
+	clocks, waits []float64
+	phases        [][]Phase
+}
+
+func snapshotRun(t *testing.T, n int, fn func(p *Proc) error) runSnapshot {
+	t.Helper()
+	procs, err := Run(n, tm(), fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := runSnapshot{
+		clocks: make([]float64, n),
+		waits:  make([]float64, n),
+		phases: make([][]Phase, n),
+	}
+	for i, p := range procs {
+		s.clocks[i] = p.Clock()
+		s.waits[i] = p.WaitTime()
+		phs := p.Phases()
+		for j := range phs {
+			phs[j].Stats.Wall = 0
+		}
+		s.phases[i] = phs
+	}
+	return s
+}
+
+// equalRuns compares two snapshots for exact (bitwise) equality.
+func equalRuns(t *testing.T, label string, a, b runSnapshot) {
+	t.Helper()
+	for r := range a.clocks {
+		if a.clocks[r] != b.clocks[r] {
+			t.Fatalf("%s: rank %d clock %v != %v", label, r, a.clocks[r], b.clocks[r])
+		}
+		if a.waits[r] != b.waits[r] {
+			t.Fatalf("%s: rank %d wait %v != %v", label, r, a.waits[r], b.waits[r])
+		}
+		if len(a.phases[r]) != len(b.phases[r]) {
+			t.Fatalf("%s: rank %d phase count %d != %d", label, r, len(a.phases[r]), len(b.phases[r]))
+		}
+		for j := range a.phases[r] {
+			if a.phases[r][j] != b.phases[r][j] {
+				t.Fatalf("%s: rank %d phase %q differs: %+v != %+v",
+					label, r, a.phases[r][j].Name, a.phases[r][j], b.phases[r][j])
+			}
+		}
+	}
+}
+
+// The sharded runtime must be bit-identical to the retained reference
+// runtime in every virtual-time observable: per-rank clocks, wait
+// times and phase stats.
+func TestShardedMatchesReference(t *testing.T) {
+	const n = 24
+	sharded := snapshotRun(t, n, mixedProgram(n))
+	SetReference(true)
+	defer SetReference(false)
+	ref := snapshotRun(t, n, mixedProgram(n))
+	equalRuns(t, "sharded vs reference", sharded, ref)
+}
+
+// Virtual time must not depend on goroutine scheduling: repeated runs
+// and GOMAXPROCS=1 vs N are bit-identical, at a rank count well beyond
+// anything a single mutex was tuned for.
+func TestHighRankDeterminism(t *testing.T) {
+	n := 2048
+	if raceEnabled {
+		n = 256 // the race detector multiplies per-goroutine cost
+	}
+	first := snapshotRun(t, n, mixedProgram(n))
+	again := snapshotRun(t, n, mixedProgram(n))
+	equalRuns(t, "run-to-run", first, again)
+
+	old := runtime.GOMAXPROCS(1)
+	serial := snapshotRun(t, n, mixedProgram(n))
+	runtime.GOMAXPROCS(old)
+	equalRuns(t, "GOMAXPROCS=1 vs N", first, serial)
+}
+
+// Deadlock reports must say how many ranks were stuck and what a
+// sample of them was waiting on, in both runtimes, while remaining
+// errors.Is-compatible with the ErrDeadlock sentinel.
+func TestDeadlockErrorDetail(t *testing.T) {
+	for _, ref := range []bool{false, true} {
+		SetReference(ref)
+		const n = 3
+		_, err := Run(n, tm(), func(p *Proc) error {
+			_, err := p.World().Recv((p.Rank()+1)%n, 99)
+			return err
+		})
+		SetReference(false)
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("ref=%v: errors.Is(err, ErrDeadlock) = false for %v", ref, err)
+		}
+		var de *DeadlockError
+		if !errors.As(err, &de) {
+			t.Fatalf("ref=%v: error %v is not a *DeadlockError", ref, err)
+		}
+		if de.Blocked != n || de.Alive != n {
+			t.Errorf("ref=%v: Blocked=%d Alive=%d, want %d/%d", ref, de.Blocked, de.Alive, n, n)
+		}
+		if len(de.Sample) != n {
+			t.Fatalf("ref=%v: sample has %d entries, want %d", ref, len(de.Sample), n)
+		}
+		for _, s := range de.Sample {
+			if s.Tag != 99 || s.Comm != 0 || s.Src != (s.Rank+1)%n {
+				t.Errorf("ref=%v: unexpected sample entry %+v", ref, s)
+			}
+		}
+	}
+}
+
+// The deadlock sample must stay bounded on big worlds.
+func TestDeadlockSampleBounded(t *testing.T) {
+	const n = 64
+	_, err := Run(n, tm(), func(p *Proc) error {
+		_, err := p.World().Recv((p.Rank()+1)%n, 5)
+		return err
+	})
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("error %v is not a *DeadlockError", err)
+	}
+	if de.Blocked != n {
+		t.Errorf("Blocked=%d, want %d", de.Blocked, n)
+	}
+	if len(de.Sample) != deadlockSampleCap {
+		t.Errorf("sample has %d entries, want cap %d", len(de.Sample), deadlockSampleCap)
+	}
+}
+
+// Payload pools must be bounded (drops once a class is at capacity)
+// and accounted: PoolStats balances frees/drops against what was
+// recycled and retains only the bounded free-list population.
+func TestPoolBoundedAndStats(t *testing.T) {
+	for _, ref := range []bool{false, true} {
+		SetReference(ref)
+		procs, err := Run(1, tm(), func(p *Proc) error {
+			w := p.World()
+			const batch = 100 // well past classCap(5)=64
+			bufs := make([][]float64, batch)
+			for i := range bufs {
+				bufs[i] = w.AllocPayload(32) // class 5
+			}
+			for _, b := range bufs {
+				w.FreePayload(b)
+			}
+			for i := 0; i < 10; i++ {
+				bufs[i] = w.AllocPayload(32) // all served from the pool
+			}
+			return nil
+		})
+		SetReference(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := procs[0].PoolStats()
+		if s.Hits != 10 || s.Misses != 100 {
+			t.Errorf("ref=%v: hits/misses = %d/%d, want 10/100", ref, s.Hits, s.Misses)
+		}
+		if s.Drops == 0 {
+			t.Errorf("ref=%v: no drops despite freeing %d buffers into a bounded class", ref, 100)
+		}
+		if s.Frees+s.Drops != 100 {
+			t.Errorf("ref=%v: frees %d + drops %d != 100", ref, s.Frees, s.Drops)
+		}
+		if got, want := s.Buffers, int(s.Frees)-10; got != want {
+			t.Errorf("ref=%v: retained buffers %d, want frees-hits = %d", ref, got, want)
+		}
+		if got, want := s.Bytes, int64(s.Buffers)*32*8; got != want {
+			t.Errorf("ref=%v: retained bytes %d, want %d", ref, got, want)
+		}
+		if hr := s.HitRate(); hr <= 0 || hr >= 1 {
+			t.Errorf("ref=%v: hit rate %v out of (0, 1)", ref, hr)
+		}
+	}
+}
+
+// World setup and splits must share canonical rank lists: every rank's
+// world communicator aliases one slice, and every member of a split
+// group aliases the root's canonical list (this is what makes setup
+// O(n) total instead of O(n²)).
+func TestCanonicalRankListAliasing(t *testing.T) {
+	const n = 8
+	subs := make([]*Comm, n)
+	procs, err := Run(n, tm(), func(p *Proc) error {
+		sub, err := p.World().Split(p.Rank()%2, p.Rank())
+		if err != nil {
+			return err
+		}
+		subs[p.Rank()] = sub
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < n; r++ {
+		if &procs[0].World().ranks[0] != &procs[r].World().ranks[0] {
+			t.Fatalf("rank %d world comm does not alias the shared rank list", r)
+		}
+	}
+	for r := 2; r < n; r++ {
+		if &subs[r].ranks[0] != &subs[r%2].ranks[0] {
+			t.Fatalf("rank %d split comm does not alias its group's canonical list", r)
+		}
+	}
+}

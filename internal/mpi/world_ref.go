@@ -1,0 +1,92 @@
+package mpi
+
+// Retained reference runtime (SetReference): the pre-sharding design —
+// one world-wide mutex guarding every mailbox, the payload pool and
+// the blocked/queued/alive counters, with per-rank condition variables
+// (all sharing that mutex) for targeted wakeups. Kept verbatim as the
+// equivalence oracle for the sharded runtime; it is bit-identical in
+// every virtual-time observable and differs only in real-time
+// scalability.
+
+// waitRecord is one rank's current blocked receive (reference runtime;
+// guarded by World.mu). It feeds the deadlock report's sample.
+type waitRecord struct {
+	active         bool
+	src, tag, comm int
+}
+
+// refSend queues msg for dst under the world mutex.
+func (w *World) refSend(dst int, key matchKey, msg *message) {
+	w.mu.Lock()
+	q, ok := w.boxes[dst][key]
+	if !ok {
+		q = &msgq{}
+		w.boxes[dst][key] = q
+	}
+	q.q = append(q.q, msg)
+	w.queued++
+	w.conds[dst].Signal() // wake only the receiver, not the whole world
+	w.mu.Unlock()
+}
+
+// refRecv blocks rank p until a message matching key is available,
+// holding the world mutex across the scan/wait loop. When every live
+// rank is blocked and nothing is queued, the job is deadlocked.
+func (w *World) refRecv(p *Proc, key matchKey) (*message, error) {
+	w.mu.Lock()
+	w.blocked++
+	rw := &w.waits[p.rank]
+	rw.active, rw.src, rw.tag, rw.comm = true, key.src, key.tag, key.comm
+	for {
+		if q, ok := w.boxes[p.rank][key]; ok && q.head < len(q.q) {
+			msg := q.pop()
+			w.queued--
+			w.blocked--
+			rw.active = false
+			w.mu.Unlock()
+			return msg, nil
+		}
+		if w.failed || (w.blocked >= w.alive && w.queued == 0) {
+			if !w.failed {
+				w.failed = true
+				w.failErr = w.refDeadlockError()
+			}
+			err := w.failErr
+			if err == nil {
+				err = ErrDeadlock
+			}
+			w.blocked--
+			rw.active = false
+			w.wakeAll()
+			w.mu.Unlock()
+			return nil, err
+		}
+		w.conds[p.rank].Wait()
+	}
+}
+
+// refDeadlockError samples what the blocked ranks are waiting on.
+// Called with w.mu held, by the rank that first detects the deadlock
+// (which is still counted in w.blocked and still has an active wait
+// record at this point).
+func (w *World) refDeadlockError() error {
+	e := &DeadlockError{Blocked: w.blocked, Alive: w.alive}
+	for r := range w.waits {
+		if len(e.Sample) == deadlockSampleCap {
+			break
+		}
+		rw := &w.waits[r]
+		if rw.active {
+			e.Sample = append(e.Sample, RankWait{Rank: r, Src: rw.src, Tag: rw.tag, Comm: rw.comm})
+		}
+	}
+	return e
+}
+
+// wakeAll signals every rank's condition variable. Called with mu held,
+// and only on failure/deadlock paths — never in steady state.
+func (w *World) wakeAll() {
+	for _, c := range w.conds {
+		c.Broadcast()
+	}
+}

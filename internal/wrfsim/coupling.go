@@ -88,11 +88,37 @@ func haloRing(c *nest.Domain) [][2]int {
 	return out
 }
 
+// bcPlan indexes a nest's BC transfer pattern by world rank, so each
+// rank walks only its own sends and receives instead of scanning the
+// full pattern (which is O(world) per rank per step at scale). Both
+// lists preserve global pattern order, so per-rank message order — and
+// therefore every virtual clock — is identical to a filtered scan of
+// the full pattern.
+type bcPlan struct {
+	send [][]*bcTransfer // by world rank: transfers sourced there (incl. self)
+	recv [][]*bcTransfer // by world rank: remote transfers received there
+}
+
+// newBCPlan indexes pattern by rank.
+func newBCPlan(pattern []*bcTransfer, nranks int) *bcPlan {
+	p := &bcPlan{
+		send: make([][]*bcTransfer, nranks),
+		recv: make([][]*bcTransfer, nranks),
+	}
+	for _, tr := range pattern {
+		p.send[tr.src] = append(p.send[tr.src], tr)
+		if tr.dst != tr.src {
+			p.recv[tr.dst] = append(p.recv[tr.dst], tr)
+		}
+	}
+	return p
+}
+
 // bcPattern computes the full deterministic BC exchange pattern of one
 // nest: which world rank sends which parent cells to which world rank.
 // It depends only on the domain geometry and process grids, so Run
-// builds it once and shares it read-only across ranks; the reference
-// path recomputes it every step.
+// builds it once (indexed by rank, see bcPlan) and shares it read-only
+// across ranks; the reference path recomputes it every step.
 func bcPattern(cfg *nest.Domain, grid vtopo.Grid, c *nest.Domain, cgrid vtopo.Grid, cworld []int) []*bcTransfer {
 	byPair := map[[2]int]*bcTransfer{}
 	var order [][2]int
@@ -144,11 +170,22 @@ func exchangeBC(world *mpi.Comm, grid vtopo.Grid, parent *solver.Tile, nc *nestC
 		sp := nc.tracer.Start(nc.span, "bc:"+nc.d.Name, telemetry.LayerPhase)
 		defer sp.End()
 	}
-	pattern, pooled := nc.bcPlan, true
-	if reference.Load() {
-		pattern, pooled = bcPattern(cfg, grid, nc.d, nc.grid, nc.world), false
-	}
 	me := world.Rank()
+	sends, recvs, pooled := nc.bcPlan.send[me], nc.bcPlan.recv[me], true
+	if reference.Load() {
+		// Recompute the pattern and filter it by scanning, with fresh
+		// allocations, as the code did before the plan cache existed.
+		pooled = false
+		sends, recvs = nil, nil
+		for _, tr := range bcPattern(cfg, grid, nc.d, nc.grid, nc.world) {
+			if tr.src == me {
+				sends = append(sends, tr)
+			}
+			if tr.dst == me && tr.src != me {
+				recvs = append(recvs, tr)
+			}
+		}
+	}
 	tag := tagBC + nc.idx
 
 	if nc.tile != nil {
@@ -156,10 +193,7 @@ func exchangeBC(world *mpi.Comm, grid vtopo.Grid, parent *solver.Tile, nc *nestC
 	}
 
 	// Post sends (and handle self-transfers locally).
-	for _, tr := range pattern {
-		if tr.src != me {
-			continue
-		}
+	for _, tr := range sends {
 		n := 3 * len(tr.pcells)
 		var data []float64
 		if pooled {
@@ -184,10 +218,7 @@ func exchangeBC(world *mpi.Comm, grid vtopo.Grid, parent *solver.Tile, nc *nestC
 		}
 	}
 	// Receive in deterministic pattern order.
-	for _, tr := range pattern {
-		if tr.dst != me || tr.src == me {
-			continue
-		}
+	for _, tr := range recvs {
 		data, err := world.Recv(tr.src, tag)
 		if err != nil {
 			return err
@@ -237,14 +268,18 @@ type fbTransfer struct {
 	src, dst int
 	entries  []fbEntry
 	floats   int // payload length: 3 * total cells
-	idx      int // slot in fbPlan.transfers and the payload stash
+	slot     int // index in dst's inbox (the per-rank payload stash)
 }
 
 // fbCellRef locates one child cell's (h, hu, hv) triple inside the
-// step's received payloads: transfer slot and float offset.
+// step's received payloads: the destination rank's inbox slot and the
+// float offset within that payload. Slots are per destination rank, so
+// a rank's stash is sized by its own inbox, not the nest's global
+// transfer count — the latter made per-rank stash memory O(world) and
+// the whole run O(world²) at startup.
 type fbCellRef struct {
-	tr  int32
-	off int32
+	slot int32
+	off  int32
 }
 
 // fbOwnedCell is the accumulation recipe for one parent cell owned by
@@ -265,6 +300,13 @@ type fbOwnedCell struct {
 type fbPlan struct {
 	transfers   []*fbTransfer
 	ownedByRank [][]fbOwnedCell // indexed by parent world rank
+	// Per-rank indexes over transfers, in global pattern order (so
+	// per-rank message order matches a filtered scan of transfers):
+	// sendByRank includes self-transfers, recvByRank excludes them, and
+	// inboxLen is each rank's stash size (slots cover both).
+	sendByRank [][]*fbTransfer
+	recvByRank [][]*fbTransfer
+	inboxLen   []int
 }
 
 // buildFBPlan computes the feedback plan of one nest.
@@ -323,10 +365,21 @@ func buildFBPlan(cfg *nest.Domain, grid vtopo.Grid, c *nest.Domain, cgrid vtopo.
 		}
 		return order[i][1] < order[j][1]
 	})
-	plan := &fbPlan{transfers: make([]*fbTransfer, len(order))}
+	nranks := grid.Size()
+	plan := &fbPlan{
+		transfers:  make([]*fbTransfer, len(order)),
+		sendByRank: make([][]*fbTransfer, nranks),
+		recvByRank: make([][]*fbTransfer, nranks),
+		inboxLen:   make([]int, nranks),
+	}
 	for i, k := range order {
 		tr := byPair[k]
-		tr.idx = i
+		tr.slot = plan.inboxLen[tr.dst]
+		plan.inboxLen[tr.dst]++
+		plan.sendByRank[tr.src] = append(plan.sendByRank[tr.src], tr)
+		if tr.dst != tr.src {
+			plan.recvByRank[tr.dst] = append(plan.recvByRank[tr.dst], tr)
+		}
 		off := 0
 		for ei := range tr.entries {
 			tr.entries[ei].off = off
@@ -360,7 +413,7 @@ func buildFBPlan(cfg *nest.Domain, grid vtopo.Grid, c *nest.Domain, cgrid vtopo.
 					tr := byPair[loc.pair]
 					e := &tr.entries[loc.ei]
 					off := e.off + 3*((cy-e.y0)*e.w+(cx-e.x0))
-					srcs = append(srcs, fbCellRef{tr: int32(tr.idx), off: int32(off)})
+					srcs = append(srcs, fbCellRef{slot: int32(tr.slot), off: int32(off)})
 				}
 			}
 			plan.ownedByRank[owner] = append(plan.ownedByRank[owner], fbOwnedCell{
@@ -387,23 +440,21 @@ func exchangeFeedback(world *mpi.Comm, grid vtopo.Grid, parent *solver.Tile, nc 
 	tag := tagFeedback + nc.idx
 	if reference.Load() {
 		plan := buildFBPlan(cfg, grid, nc.d, nc.grid, nc.world)
-		payloads := make([][]float64, len(plan.transfers))
+		payloads := make([][]float64, plan.inboxLen[world.Rank()])
 		return runFeedback(world, parent, nc, plan, payloads, tag, false)
 	}
 	return runFeedback(world, parent, nc, nc.fbPlan, nc.fbPayloads, tag, true)
 }
 
 // runFeedback executes one feedback exchange according to plan, using
-// payloads as the per-transfer stash of this step's received buffers.
+// payloads as this rank's inbox stash (one slot per incoming transfer,
+// including self-transfers) for the step's buffers.
 func runFeedback(world *mpi.Comm, parent *solver.Tile, nc *nestCtx, plan *fbPlan, payloads [][]float64, tag int, pooled bool) error {
 	me := world.Rank()
 	t := nc.tile
 
 	// Sends (self-transfers stash their payload directly).
-	for _, tr := range plan.transfers {
-		if tr.src != me {
-			continue
-		}
+	for _, tr := range plan.sendByRank[me] {
 		var buf []float64
 		if pooled {
 			buf = world.AllocPayload(tr.floats)
@@ -420,7 +471,7 @@ func runFeedback(world *mpi.Comm, parent *solver.Tile, nc *nestCtx, plan *fbPlan
 			}
 		}
 		if tr.dst == me {
-			payloads[tr.idx] = buf
+			payloads[tr.slot] = buf
 			continue
 		}
 		if pooled {
@@ -430,10 +481,7 @@ func runFeedback(world *mpi.Comm, parent *solver.Tile, nc *nestCtx, plan *fbPlan
 		}
 	}
 	// Receive in deterministic pattern order.
-	for _, tr := range plan.transfers {
-		if tr.dst != me || tr.src == me {
-			continue
-		}
+	for _, tr := range plan.recvByRank[me] {
 		data, err := world.Recv(tr.src, tag)
 		if err != nil {
 			return err
@@ -441,7 +489,7 @@ func runFeedback(world *mpi.Comm, parent *solver.Tile, nc *nestCtx, plan *fbPlan
 		if len(data) != tr.floats {
 			return fmt.Errorf("wrfsim: feedback payload %d floats, want %d", len(data), tr.floats)
 		}
-		payloads[tr.idx] = data
+		payloads[tr.slot] = data
 	}
 
 	// Canonical accumulation into the owned parent cells.
@@ -450,7 +498,7 @@ func runFeedback(world *mpi.Comm, parent *solver.Tile, nc *nestCtx, plan *fbPlan
 		oc := &owned[i]
 		var h, hu, hv float64
 		for _, ref := range oc.srcs {
-			p := payloads[ref.tr]
+			p := payloads[ref.slot]
 			h += p[ref.off]
 			hu += p[ref.off+1]
 			hv += p[ref.off+2]

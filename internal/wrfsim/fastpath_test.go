@@ -130,9 +130,9 @@ func TestCouplingZeroAllocs(t *testing.T) {
 			return initialParentValue(cfg, child.OffX+gx/child.Ratio, child.OffY+gy/child.Ratio)
 		})
 		nc.tile = tile
-		nc.bcPlan = bcPattern(cfg, grid, child, nc.grid, nc.world)
+		nc.bcPlan = newBCPlan(bcPattern(cfg, grid, child, nc.grid, nc.world), grid.Size())
 		nc.fbPlan = buildFBPlan(cfg, grid, child, nc.grid, nc.world)
-		nc.fbPayloads = make([][]float64, len(nc.fbPlan.transfers))
+		nc.fbPayloads = make([][]float64, nc.fbPlan.inboxLen[me])
 
 		couple := func() {
 			if err := exchangeBC(world, grid, parent, nc, cfg); err != nil {

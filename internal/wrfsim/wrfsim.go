@@ -22,6 +22,7 @@ import (
 	"nestwrf/internal/alloc"
 	"nestwrf/internal/iosim"
 	"nestwrf/internal/machine"
+	"nestwrf/internal/metrics"
 	"nestwrf/internal/mpi"
 	"nestwrf/internal/nest"
 	"nestwrf/internal/output"
@@ -72,6 +73,10 @@ type Options struct {
 	// uninstrumented build.
 	Tracer      *telemetry.Tracer
 	TraceParent telemetry.SpanID
+	// Metrics, when non-nil, records runtime gauges about the run into
+	// the registry (currently the mpi payload-pool counters, as
+	// mpi_payload_pool_*).
+	Metrics *metrics.Registry
 }
 
 // Output is the result of a run.
@@ -90,6 +95,9 @@ type Output struct {
 	// Snapshots are the forecast records written during the run (in
 	// write order), when OutputEverySteps is enabled.
 	Snapshots []output.Snapshot
+	// Pools is the run's final mpi payload-pool snapshot (hit rate,
+	// retained buffers), for capacity diagnostics at high rank counts.
+	Pools mpi.PoolStats
 }
 
 // Errors.
@@ -182,15 +190,25 @@ func Run(cfg *nest.Domain, opt Options) (out *Output, err error) {
 	// shared read-only by every rank — the reference path recomputes
 	// them at every coupling step instead.
 	plans := make([]*nestPlans, len(cfg.Children))
+	// Sequential nests all share one identity rank list and one
+	// identity local-rank index — O(ranks) total, not per nest.
+	var idWorld []int
+	var idLocal []int32
+	if opt.Strategy == Sequential && len(cfg.Children) > 0 {
+		idWorld = make([]int, grid.Size())
+		idLocal = make([]int32, grid.Size())
+		for r := range idWorld {
+			idWorld[r] = r
+			idLocal[r] = int32(r)
+		}
+	}
 	for i, c := range cfg.Children {
 		np := &nestPlans{phase: "nest:" + c.Name}
 		switch opt.Strategy {
 		case Sequential:
 			np.grid = grid
-			np.world = make([]int, grid.Size())
-			for r := range np.world {
-				np.world[r] = r
-			}
+			np.world = idWorld
+			np.localOf = idLocal
 		case Concurrent:
 			sg, err := vtopo.NewSubgrid(grid, rects[i])
 			if err != nil {
@@ -198,8 +216,15 @@ func Run(cfg *nest.Domain, opt Options) (out *Output, err error) {
 			}
 			np.grid = sg.Grid()
 			np.world = sg.Ranks()
+			np.localOf = make([]int32, opt.Ranks)
+			for r := range np.localOf {
+				np.localOf[r] = -1
+			}
+			for l, wr := range np.world {
+				np.localOf[wr] = int32(l)
+			}
 		}
-		np.bc = bcPattern(cfg, grid, c, np.grid, np.world)
+		np.bc = newBCPlan(bcPattern(cfg, grid, c, np.grid, np.world), opt.Ranks)
 		np.fb = buildFBPlan(cfg, grid, c, np.grid, np.world)
 		plans[i] = np
 	}
@@ -213,6 +238,10 @@ func Run(cfg *nest.Domain, opt Options) (out *Output, err error) {
 	}
 	sortSnapshots(out.Snapshots)
 	out.Phases = mpi.AggregatePhases(procs)
+	out.Pools = procs[0].PoolStats()
+	if opt.Metrics != nil {
+		recordPoolMetrics(opt.Metrics, out.Pools)
+	}
 	var sum float64
 	for _, p := range procs {
 		if p.Clock() > out.MaxClock {
@@ -231,11 +260,12 @@ func Run(cfg *nest.Domain, opt Options) (out *Output, err error) {
 // process grid and the coupling plans, identical on every rank and
 // read-only during the run.
 type nestPlans struct {
-	grid  vtopo.Grid // the nest's process grid
-	world []int      // world rank of each nest-local rank
-	phase string     // phase label ("nest:" + name)
-	bc    []*bcTransfer
-	fb    *fbPlan
+	grid    vtopo.Grid // the nest's process grid
+	world   []int      // world rank of each nest-local rank
+	localOf []int32    // world rank -> nest-local rank, -1 if not a member
+	phase   string     // phase label ("nest:" + name)
+	bc      *bcPlan
+	fb      *fbPlan
 }
 
 // nestCtx holds one rank's view of one nested domain.
@@ -250,8 +280,10 @@ type nestCtx struct {
 	phase string       // precomputed phase label ("nest:" + name)
 
 	// Coupling plans shared across ranks (see nestPlans), plus this
-	// rank's per-step feedback payload stash.
-	bcPlan     []*bcTransfer
+	// rank's per-step feedback inbox stash (sized by the rank's own
+	// incoming-transfer count, so total stash memory is O(world), not
+	// O(world²)).
+	bcPlan     *bcPlan
 	fbPlan     *fbPlan
 	fbPayloads [][]float64
 
@@ -292,7 +324,7 @@ func rankMain(p *mpi.Proc, cfg *nest.Domain, grid vtopo.Grid, plans []*nestPlans
 			d: c, idx: i,
 			grid: np.grid, world: np.world, phase: np.phase,
 			bcPlan: np.bc, fbPlan: np.fb,
-			fbPayloads: make([][]float64, len(np.fb.transfers)),
+			fbPayloads: make([][]float64, np.fb.inboxLen[me]),
 		}
 		if me == 0 && opt.Tracer.Recording() {
 			// Only rank 0 emits coupling spans: one tracing rank keeps
@@ -302,13 +334,7 @@ func rankMain(p *mpi.Proc, cfg *nest.Domain, grid vtopo.Grid, plans []*nestPlans
 			nc.span = opt.TraceParent
 		}
 		// Local rank within the nest, if a member.
-		local := -1
-		for l, w := range nc.world {
-			if w == me {
-				local = l
-				break
-			}
-		}
+		local := int(np.localOf[me])
 		switch opt.Strategy {
 		case Sequential:
 			nc.comm = world
@@ -408,6 +434,17 @@ func rankMain(p *mpi.Proc, cfg *nest.Domain, grid vtopo.Grid, plans []*nestPlans
 		return err
 	}
 	return nil
+}
+
+// recordPoolMetrics publishes a run's payload-pool snapshot as gauges.
+func recordPoolMetrics(reg *metrics.Registry, ps mpi.PoolStats) {
+	reg.Gauge("mpi_payload_pool_hits").Set(float64(ps.Hits))
+	reg.Gauge("mpi_payload_pool_misses").Set(float64(ps.Misses))
+	reg.Gauge("mpi_payload_pool_frees").Set(float64(ps.Frees))
+	reg.Gauge("mpi_payload_pool_drops").Set(float64(ps.Drops))
+	reg.Gauge("mpi_payload_pool_buffers").Set(float64(ps.Buffers))
+	reg.Gauge("mpi_payload_pool_bytes").Set(float64(ps.Bytes))
+	reg.Gauge("mpi_payload_pool_hit_rate").Set(ps.HitRate())
 }
 
 // initialParentValue evaluates the parent's initial condition (used to
