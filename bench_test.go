@@ -12,7 +12,10 @@ import (
 	"testing"
 
 	"nestwrf"
+	"nestwrf/internal/driver"
 	"nestwrf/internal/experiments"
+	"nestwrf/internal/model"
+	"nestwrf/internal/nest"
 )
 
 // benchExperiment runs a registered experiment b.N times.
@@ -117,6 +120,63 @@ func BenchmarkPlanPipeline(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// coldPlanJobs builds 32 distinct multi-sibling configurations (two
+// typhoon nests, one carrying a finer inner nest) with jittered
+// geometries, so every job is a distinct plan-cache key that must plan
+// from scratch.
+func coldPlanJobs() []driver.PlanJob {
+	jobs := make([]driver.PlanJob, 32)
+	for i := range jobs {
+		cfg := nest.Root("pacific", 286, 307)
+		t1 := cfg.AddChild("t1", 390-6*(i%8), 410+8*(i%4), 3, 5, 5)
+		t1.AddChild("t1i", 150+10*(i%3), 140, 3, 20, 20)
+		cfg.AddChild("t2", 310-10*(i%5), 330, 3, 140, 150)
+		jobs[i] = driver.PlanJob{Config: cfg, Options: driver.Options{
+			Machine:  nestwrf.BlueGeneL(),
+			Ranks:    1024,
+			Strategy: nestwrf.StrategyConcurrent,
+			MapKind:  nestwrf.MapMultiLevel,
+			Alloc:    nestwrf.AllocPredicted,
+		}}
+	}
+	return jobs
+}
+
+// BenchmarkColdPlan measures the cold-planning path — a batch of 32
+// distinct multi-sibling plans, as an ensemble generation or a churn
+// of new regions of interest produces — under the retained sequential
+// reference and the parallel builder. The model-layer phase cache is
+// dropped every iteration so each batch genuinely replans; the
+// machine's predictor is trained once up front (both modes share the
+// singleflighted predictor cache, and training time is not what this
+// benchmark tracks). The parallel/sequential ratio is the PR's
+// headline: parallel must be at least 2x faster on multi-core hosts.
+func BenchmarkColdPlan(b *testing.B) {
+	jobs := coldPlanJobs()
+	if _, err := driver.CachedPredictor(nestwrf.BlueGeneL()); err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, reference bool, workers int) {
+		driver.SetReference(reference)
+		defer driver.SetReference(false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			model.ResetCache()
+			plans, errs := driver.BuildPlans(jobs, workers)
+			for j := range jobs {
+				if errs[j] != nil {
+					b.Fatal(errs[j])
+				}
+				if plans[j] == nil || plans[j].Cost.IterTime <= 0 {
+					b.Fatalf("job %d: incomplete plan", j)
+				}
+			}
+		}
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, true, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, false, runtime.GOMAXPROCS(0)) })
 }
 
 // BenchmarkSimulate measures one virtual-time iteration at several

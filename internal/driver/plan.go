@@ -3,6 +3,7 @@ package driver
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"nestwrf/internal/alloc"
 	"nestwrf/internal/machine"
@@ -62,10 +63,30 @@ type Plan struct {
 // covers every field of the machine, not just its name: two machines
 // that share a name but differ in any cost-model parameter must not
 // share a predictor.
+// predEntry is one machine's singleflight training slot: the first
+// caller trains inside the Once, and every concurrent first-touch
+// caller waits on the same slot instead of training a redundant copy
+// (Delaunay training is the most expensive step of a cold plan).
+type predEntry struct {
+	once sync.Once
+	p    *predict.Model
+	err  error
+}
+
 var (
 	predMu    sync.Mutex
-	predCache = map[string]*predict.Model{}
+	predCache = map[string]*predEntry{}
+
+	// trainCount tallies TrainPredictor invocations; the thundering-herd
+	// regression test asserts N concurrent first-touch CachedPredictor
+	// calls add exactly one.
+	trainCount atomic.Int64
 )
+
+// TrainCalls reports how many times TrainPredictor has run in this
+// process. Diagnostic: tests use the delta to prove the predictor
+// singleflight holds under concurrency.
+func TrainCalls() int64 { return trainCount.Load() }
 
 // MachineKey renders the machine's full identity for cache keying: any
 // cost-model difference yields a distinct key.
@@ -73,20 +94,29 @@ func MachineKey(m machine.Machine) string { return fmt.Sprintf("%#v", m) }
 
 // CachedPredictor returns the shared predictor for m, training it on
 // first use. Training is deterministic, so the cached model is
-// interchangeable with a freshly trained one.
+// interchangeable with a freshly trained one; concurrent first-touch
+// callers for the same machine share a single training pass.
 func CachedPredictor(m machine.Machine) (*predict.Model, error) {
 	key := MachineKey(m)
 	predMu.Lock()
-	defer predMu.Unlock()
-	if p, ok := predCache[key]; ok {
-		return p, nil
+	e, ok := predCache[key]
+	if !ok {
+		e = &predEntry{}
+		predCache[key] = e
 	}
-	p, err := TrainPredictor(m)
-	if err != nil {
-		return nil, err
+	predMu.Unlock()
+	e.once.Do(func() { e.p, e.err = TrainPredictor(m) })
+	if e.err != nil {
+		// Failed trainings are not cached: drop the entry (unless a
+		// reset already replaced it) so the next caller retries.
+		predMu.Lock()
+		if predCache[key] == e {
+			delete(predCache, key)
+		}
+		predMu.Unlock()
+		return nil, e.err
 	}
-	predCache[key] = p
-	return p, nil
+	return e.p, nil
 }
 
 // ResetPredictorCache drops all cached predictors, forcing the next
@@ -94,7 +124,7 @@ func CachedPredictor(m machine.Machine) (*predict.Model, error) {
 // predictors through whichever reference/fast path is active.
 func ResetPredictorCache() {
 	predMu.Lock()
-	predCache = map[string]*predict.Model{}
+	predCache = map[string]*predEntry{}
 	predMu.Unlock()
 }
 
@@ -153,31 +183,83 @@ func BuildPlan(cfg *nest.Domain, opt Options) (*Plan, error) {
 		{MapPartition, func() (*mapping.Mapping, error) { return mapping.PartitionMapping(g, tor, plan.Rects) }},
 		{MapMultiLevel, func() (*mapping.Mapping, error) { return mapping.MultiLevel(g, tor) }},
 	}
-	for _, b := range builders {
-		mp, err := b.build()
-		if err != nil {
-			continue
+	if reference.Load() {
+		// Retained sequential reference: builders in order, then the
+		// cost run.
+		for _, b := range builders {
+			mp, err := b.build()
+			if err != nil {
+				continue
+			}
+			rep, err := mapping.Analyze(mp, plan.Rects)
+			if err != nil {
+				return nil, err
+			}
+			plan.Mapping[b.kind.String()] = MappingQuality{
+				ParentAvgHops:  rep.ParentAvg,
+				SiblingAvgHops: rep.SiblingAvg,
+				OverallAvgHops: rep.OverallAvg,
+			}
 		}
-		rep, err := mapping.Analyze(mp, plan.Rects)
+		runOpt := opt
+		runOpt.Predictor = r.pred
+		plan.Cost, err = Run(cfg, runOpt)
 		if err != nil {
 			return nil, err
 		}
-		plan.Mapping[b.kind.String()] = MappingQuality{
+		return plan, nil
+	}
+
+	// Fast cold path: the four mapping build+analyze units and the cost
+	// run are independent once weights and partitions exist, so they fan
+	// over spare worker-pool slots; the merge below visits slots in
+	// builder order, so output and first-error choice match the
+	// sequential reference byte for byte. The cost run itself may fan
+	// sibling subtrees (Options.Parallel); its result is journal-merged
+	// to the identical bits. Phase costs stay memoized across plans, so
+	// repeated BuildPlan calls on warm caches remain cheap either way.
+	type mapOut struct {
+		ok  bool
+		q   MappingQuality
+		err error
+	}
+	outs := make([]mapOut, len(builders))
+	var cost Result
+	var costErr error
+	fanOut(len(builders)+1, func(i int) {
+		if i == len(builders) {
+			runOpt := opt
+			runOpt.Predictor = r.pred
+			runOpt.Parallel = true
+			cost, costErr = Run(cfg, runOpt)
+			return
+		}
+		mp, err := builders[i].build()
+		if err != nil {
+			return // infeasible kind: absent, as in the sequential skip
+		}
+		rep, err := mapping.Analyze(mp, plan.Rects)
+		if err != nil {
+			outs[i].err = err
+			return
+		}
+		outs[i] = mapOut{ok: true, q: MappingQuality{
 			ParentAvgHops:  rep.ParentAvg,
 			SiblingAvgHops: rep.SiblingAvg,
 			OverallAvgHops: rep.OverallAvg,
+		}}
+	})
+	for i, b := range builders {
+		if outs[i].err != nil {
+			return nil, outs[i].err
+		}
+		if outs[i].ok {
+			plan.Mapping[b.kind.String()] = outs[i].q
 		}
 	}
-
-	// Predicted cost of actually running under these options. The run
-	// resolves its own predictor through the same path as above, and
-	// its phase costs are memoized across plans, so repeated BuildPlan
-	// calls on warm caches stay cheap.
-	runOpt := opt
-	runOpt.Predictor = r.pred
-	plan.Cost, err = Run(cfg, runOpt)
-	if err != nil {
-		return nil, err
+	if costErr != nil {
+		return nil, costErr
 	}
+	plan.Cost = cost
 	return plan, nil
 }

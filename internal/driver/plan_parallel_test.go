@@ -1,0 +1,231 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"nestwrf/internal/machine"
+	"nestwrf/internal/model"
+	"nestwrf/internal/nest"
+)
+
+// parallelOracleDomain is a three-level tree with two nested sibling
+// subtrees plus a flat sibling, so both the sequential-strategy sibling
+// fan and the concurrent-strategy nestedExtra fan have real work.
+func parallelOracleDomain() *nest.Domain {
+	cfg := nest.Root("p", 340, 360)
+	a := cfg.AddChild("a", 600, 540, 3, 10, 10)
+	a.AddChild("a1", 280, 240, 3, 40, 50)
+	a.AddChild("a2", 260, 220, 3, 320, 280)
+	b := cfg.AddChild("b", 330, 300, 3, 220, 220)
+	b.AddChild("b1", 150, 150, 3, 30, 30)
+	cfg.AddChild("c", 120, 150, 3, 215, 15)
+	return cfg
+}
+
+// TestBuildPlanParallelMatchesReference is the acceptance oracle: for
+// every strategy x alloc-policy x map-kind combination, the parallel
+// BuildPlan must produce a Plan byte-identical (and DeepEqual) to the
+// retained sequential reference.
+func TestBuildPlanParallelMatchesReference(t *testing.T) {
+	defer SetReference(false)
+	cfg := parallelOracleDomain()
+	for _, strat := range []Strategy{Sequential, Concurrent} {
+		for _, pol := range []AllocPolicy{AllocPredicted, AllocNaivePoints, AllocEqual, AllocStripsPredicted} {
+			for _, kind := range []MapKind{MapSequential, MapTXYZ, MapPartition, MapMultiLevel} {
+				opt := Options{
+					Machine: machine.BGL(), Ranks: 64,
+					Strategy: strat, Alloc: pol, MapKind: kind,
+					IOMode: 1, OutputEverySteps: 4,
+				}
+				name := fmt.Sprintf("%v/%v/%v", strat, pol, kind)
+				SetReference(true)
+				model.ResetCache()
+				want, wantErr := BuildPlan(cfg, opt)
+				SetReference(false)
+				model.ResetCache()
+				got, gotErr := BuildPlan(cfg, opt)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("%s: reference err %v, parallel err %v", name, wantErr, gotErr)
+				}
+				if wantErr != nil {
+					continue
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("%s: parallel plan differs from reference", name)
+					continue
+				}
+				wb, _ := json.Marshal(want)
+				gb, _ := json.Marshal(got)
+				if string(wb) != string(gb) {
+					t.Errorf("%s: plan bytes differ:\nref: %s\npar: %s", name, wb, gb)
+				}
+			}
+		}
+	}
+}
+
+// TestRunParallelSiblingsIdentity checks the journal-replay merge at
+// the Run level: Options.Parallel must not change a single bit of the
+// Result, including the accumulated wait and hop statistics.
+func TestRunParallelSiblingsIdentity(t *testing.T) {
+	cfg := parallelOracleDomain()
+	for _, strat := range []Strategy{Sequential, Concurrent} {
+		opt := Options{
+			Machine: machine.BGP(), Ranks: 256,
+			Strategy: strat, MapKind: MapMultiLevel,
+			IOMode: 1, OutputEverySteps: 2,
+		}
+		want, err := Run(cfg, opt)
+		if err != nil {
+			t.Fatalf("%v: sequential run: %v", strat, err)
+		}
+		opt.Parallel = true
+		for i := 0; i < 3; i++ { // repeat: scheduling must not matter
+			got, err := Run(cfg, opt)
+			if err != nil {
+				t.Fatalf("%v: parallel run: %v", strat, err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("%v: parallel Result differs from sequential:\nwant %+v\ngot  %+v", strat, want, got)
+			}
+		}
+	}
+}
+
+// TestBuildPlansMatchesReference: a batch through BuildPlans must equal
+// a per-job sequential-reference loop, job for job, with errors (here a
+// zero-rank job in the middle) surfacing in the matching slot.
+func TestBuildPlansMatchesReference(t *testing.T) {
+	defer SetReference(false)
+	var jobs []PlanJob
+	for i := 0; i < 6; i++ {
+		cfg := nest.Root("p", 286, 307)
+		cfg.AddChild("t1", 394-6*i, 418, 3, 5+i, 5)
+		cfg.AddChild("t2", 313, 337-4*i, 3, 140, 150)
+		jobs = append(jobs, PlanJob{Config: cfg, Options: Options{
+			Machine: machine.BGL(), Ranks: 64,
+			Strategy: Concurrent, Alloc: AllocPredicted, MapKind: MapKind(i % 4),
+		}})
+	}
+	jobs[3].Options.Ranks = 0 // must fail in place without harming neighbours
+
+	SetReference(true)
+	want := make([]*Plan, len(jobs))
+	wantErr := make([]error, len(jobs))
+	for i, j := range jobs {
+		want[i], wantErr[i] = BuildPlan(j.Config, j.Options)
+	}
+	SetReference(false)
+	got, gotErr := BuildPlans(jobs, 4)
+	for i := range jobs {
+		if (wantErr[i] == nil) != (gotErr[i] == nil) {
+			t.Fatalf("job %d: reference err %v, batch err %v", i, wantErr[i], gotErr[i])
+		}
+		if wantErr[i] != nil {
+			continue
+		}
+		wb, _ := json.Marshal(want[i])
+		gb, _ := json.Marshal(got[i])
+		if string(wb) != string(gb) {
+			t.Errorf("job %d: batch plan differs from reference", i)
+		}
+	}
+	if gotErr[3] == nil {
+		t.Error("job 3 (zero ranks) should have failed")
+	}
+}
+
+// TestCachedPredictorTrainsOnce is the thundering-herd guard: many
+// concurrent first-touch cold planners for one machine must share a
+// single training pass.
+func TestCachedPredictorTrainsOnce(t *testing.T) {
+	ResetPredictorCache()
+	defer ResetPredictorCache()
+	before := TrainCalls()
+	const callers = 16
+	models := make([]any, callers)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			p, err := CachedPredictor(machine.BGL())
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			models[i] = p
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if got := TrainCalls() - before; got != 1 {
+		t.Fatalf("%d concurrent first-touch callers trained %d times, want 1", callers, got)
+	}
+	for i := 1; i < callers; i++ {
+		if models[i] != models[0] {
+			t.Fatalf("caller %d got a different model instance", i)
+		}
+	}
+}
+
+// TestConcurrentBuildPlansWithReferenceToggle flips the reference
+// toggle while batches are in flight: every plan must still come out
+// byte-identical, whichever path a flip lands it on. Run under -race
+// in CI.
+func TestConcurrentBuildPlansWithReferenceToggle(t *testing.T) {
+	defer SetReference(false)
+	cfg := parallelOracleDomain()
+	opt := Options{Machine: machine.BGL(), Ranks: 64, Strategy: Concurrent, MapKind: MapMultiLevel}
+	want, err := BuildPlan(cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, _ := json.Marshal(want)
+
+	stop := make(chan struct{})
+	var toggler sync.WaitGroup
+	toggler.Add(1)
+	go func() {
+		defer toggler.Done()
+		on := false
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			on = !on
+			SetReference(on)
+		}
+	}()
+	const workers, iters = 4, 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				plans, errs := BuildPlans([]PlanJob{{Config: cfg, Options: opt}}, 2)
+				if errs[0] != nil {
+					t.Errorf("worker %d: %v", w, errs[0])
+					return
+				}
+				gb, _ := json.Marshal(plans[0])
+				if string(gb) != string(wb) {
+					t.Errorf("worker %d: plan drifted under toggle flips", w)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	toggler.Wait()
+}

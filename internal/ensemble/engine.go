@@ -185,6 +185,15 @@ type Engine struct {
 	// this run (simulating a kill for resume testing). The summary has
 	// Stopped=true and a nil error.
 	StopAfter int
+	// Generation, when positive, groups member IDs into generations of
+	// that many and batch-submits each generation's plan-cache jobs
+	// (every phase of every member, sequential and concurrent) through
+	// PlanCache.RunBatch before dispatching its members. Cold campaigns
+	// then pay one coalesced parallel planning pass per generation
+	// instead of demand-faulting misses one worker at a time; workers
+	// mostly hit. Results and aggregates are bit-identical with or
+	// without it — prewarming only moves when planning happens.
+	Generation int
 	// Tracer, when non-nil, records one campaign-layer span for the
 	// run, with member-layer spans for head-sampled members (every
 	// tracer.SampleEvery-th member ID) wrapping their plan-cache
@@ -370,6 +379,13 @@ func (e *Engine) Run(ctx context.Context) (*Summary, error) {
 		go func() { // dispatcher
 			defer close(jobs)
 			for id := start; id < spec.Members; id++ {
+				if e.Generation > 0 && (id-start)%e.Generation == 0 {
+					hi := id + e.Generation
+					if hi > spec.Members {
+						hi = spec.Members
+					}
+					e.prewarmGeneration(runCtx, spec, cache, id, hi, workers, campID)
+				}
 				select {
 				case sem <- struct{}{}:
 				case <-runCtx.Done():

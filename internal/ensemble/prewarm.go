@@ -1,0 +1,75 @@
+package ensemble
+
+import (
+	"context"
+	"strconv"
+
+	"nestwrf/internal/driver"
+	"nestwrf/internal/nest"
+	"nestwrf/internal/planserve"
+	"nestwrf/internal/telemetry"
+)
+
+// generationJobs expands members [lo, hi) into the plan-cache jobs
+// they will issue when executed: for storyline members one sequential
+// and one concurrent run per phase, for single-configuration members
+// one of each for the whole config — exactly mirroring runMember and
+// campaign.RunWith, so the prewarmed keys are the ones the workers
+// look up.
+func generationJobs(spec Spec, lo, hi int) []planserve.RunJob {
+	var jobs []planserve.RunJob
+	add := func(cfg *nest.Domain, opt driver.Options) {
+		seqOpt := opt
+		seqOpt.Strategy = driver.Sequential
+		seqOpt.MapKind = driver.MapSequential
+		conOpt := opt
+		conOpt.Strategy = driver.Concurrent
+		jobs = append(jobs,
+			planserve.RunJob{Config: cfg, Opt: seqOpt},
+			planserve.RunJob{Config: cfg, Opt: conOpt})
+	}
+	for id := lo; id < hi; id++ {
+		m, err := spec.Member(id)
+		if err != nil {
+			// The worker that draws this ID reports the error with full
+			// member context; prewarming just skips it.
+			continue
+		}
+		if len(m.Phases) > 0 {
+			for _, ph := range m.Phases {
+				add(ph.Config, m.Opt)
+			}
+			continue
+		}
+		add(m.Config, m.Opt)
+	}
+	return jobs
+}
+
+// prewarmGeneration batch-plans one generation of members through the
+// shared cache before the dispatcher releases their IDs. Errors are
+// deliberately dropped: the cache does not retain them, so the worker
+// that executes the failing member recomputes and surfaces the error
+// in commit order, identical to an unprewarmed run.
+func (e *Engine) prewarmGeneration(ctx context.Context, spec Spec, cache *planserve.PlanCache, lo, hi, workers int, campID telemetry.SpanID) {
+	jobs := generationJobs(spec, lo, hi)
+	if len(jobs) == 0 {
+		return
+	}
+	var sp *telemetry.ActiveSpan
+	if e.Tracer.Recording() {
+		sp = e.Tracer.Start(campID, "prewarm", telemetry.LayerCampaign)
+		sp.Annotate("generation_lo", strconv.Itoa(lo))
+		sp.Annotate("jobs", strconv.Itoa(len(jobs)))
+	}
+	cache.RunBatch(ctx, jobs, workers)
+	e.Metrics.Counter("ensemble_prewarm_generations_total").Inc()
+	e.Metrics.Counter("ensemble_prewarm_jobs_total").Add(float64(len(jobs)))
+	if sp != nil {
+		sp.End()
+	}
+	if e.Log != nil {
+		e.Log.Info("generation prewarmed",
+			"lo", lo, "hi", hi, "jobs", len(jobs), "campaign", campID.String())
+	}
+}

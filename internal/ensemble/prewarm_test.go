@@ -1,0 +1,101 @@
+package ensemble
+
+import (
+	"context"
+	"testing"
+
+	"nestwrf/internal/metrics"
+	"nestwrf/internal/planserve"
+)
+
+// TestGenerationPrewarmBitIdentity: batch-prewarming generations must
+// not change what a campaign computes — aggregates and distinct-key
+// miss counts match an unprewarmed cold run exactly; only the hit/miss
+// timing moves (workers mostly hit after each generation's batch).
+func TestGenerationPrewarmBitIdentity(t *testing.T) {
+	spec := Spec{Generator: GenMixed, Members: 36, Seed: 11, Ranks: 512, StepsPerPhase: 10}
+	ctx := context.Background()
+
+	coldA := planserve.NewPlanCache(8192)
+	defer coldA.Close()
+	plain, err := (&Engine{Spec: spec, Workers: 6, Cache: coldA}).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coldB := planserve.NewPlanCache(8192)
+	defer coldB.Close()
+	reg := metrics.NewRegistry()
+	warmed, err := (&Engine{
+		Spec: spec, Workers: 6, Cache: coldB, Generation: 10, Metrics: reg,
+	}).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if plain.Committed != spec.Members || warmed.Committed != spec.Members {
+		t.Fatalf("committed %d / %d, want %d", plain.Committed, warmed.Committed, spec.Members)
+	}
+	if a, b := aggJSON(t, plain.Aggregates), aggJSON(t, warmed.Aggregates); a != b {
+		t.Errorf("prewarming changed aggregates:\nplain:  %s\nwarmed: %s", a, b)
+	}
+	if plain.CacheMisses != warmed.CacheMisses {
+		t.Errorf("distinct geometries planned: plain %d, warmed %d",
+			plain.CacheMisses, warmed.CacheMisses)
+	}
+	if warmed.CacheHits < plain.CacheHits {
+		t.Errorf("prewarmed run hit less than plain: %d < %d",
+			warmed.CacheHits, plain.CacheHits)
+	}
+
+	snap := reg.Snapshot()
+	gens := findMetric(snap, "ensemble_prewarm_generations_total")
+	if want := float64((spec.Members + 9) / 10); gens != want {
+		t.Errorf("prewarm generations %v, want %v", gens, want)
+	}
+	if jobs := findMetric(snap, "ensemble_prewarm_jobs_total"); jobs <= 0 {
+		t.Errorf("prewarm jobs %v, want > 0", jobs)
+	}
+}
+
+// TestGenerationJobsMirrorRunMember: the jobs a generation expands to
+// must cover exactly the (config, option) pairs runMember issues —
+// storyline members contribute 2 jobs per phase, single-config members
+// 2 jobs total.
+func TestGenerationJobsMirrorRunMember(t *testing.T) {
+	spec := Spec{Generator: GenMixed, Members: 12, Seed: 4}.WithDefaults()
+	jobs := generationJobs(spec, 0, spec.Members)
+	want := 0
+	for id := 0; id < spec.Members; id++ {
+		m, err := spec.Member(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := len(m.Phases); n > 0 {
+			want += 2 * n
+		} else {
+			want += 2
+		}
+	}
+	if len(jobs) != want {
+		t.Fatalf("generation expanded to %d jobs, want %d", len(jobs), want)
+	}
+	for i, j := range jobs {
+		if j.Config == nil {
+			t.Fatalf("job %d: nil config", i)
+		}
+		if err := j.Opt.Validate(); err != nil {
+			t.Fatalf("job %d: invalid options: %v", i, err)
+		}
+	}
+}
+
+// findMetric pulls one counter value out of a registry snapshot.
+func findMetric(snap metrics.Snapshot, name string) float64 {
+	for _, m := range snap.Counters {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	return -1
+}

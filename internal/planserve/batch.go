@@ -1,0 +1,105 @@
+package planserve
+
+import (
+	"sync"
+	"time"
+
+	"nestwrf/internal/driver"
+	"nestwrf/internal/nest"
+)
+
+// planJob is one coalesced cache-miss plan: the singleflight leader
+// for a distinct key parks here until the batch it joined is built.
+type planJob struct {
+	cfg  *nest.Domain
+	opt  driver.Options
+	plan *driver.Plan
+	err  error
+	done chan struct{} // closed once plan/err are set
+}
+
+// coalescer batches concurrently arriving distinct-key plan misses:
+// the first miss arms a short window timer, further misses pile onto
+// the pending list, and when the window lapses (or the batch is full)
+// every pending plan is built in one driver.BuildPlans pass — sharing
+// one trained predictor per machine, the pooled model scratch arenas,
+// and one bounded worker-pool fan instead of one pool slot per miss.
+type coalescer struct {
+	window  time.Duration
+	maxJobs int
+	workers int
+	// acquire/release claim one server worker-pool slot around each
+	// flush, so coalesced planning still respects the pool that gates
+	// uncoalesced misses (and fails fast the same way under timeout).
+	acquire func()
+	release func()
+	onFlush func(jobs int) // metrics hook, called once per flush
+
+	mu      sync.Mutex
+	pending []*planJob
+	timerOn bool
+	batches uint64
+	planned uint64
+}
+
+// submit queues one miss and returns immediately; the caller waits on
+// j.done. A full batch flushes on the submitter's goroutine; otherwise
+// the window timer (armed by the first pending job) flushes.
+func (co *coalescer) submit(j *planJob) {
+	co.mu.Lock()
+	co.pending = append(co.pending, j)
+	if len(co.pending) >= co.maxJobs {
+		batch := co.pending
+		co.pending = nil
+		// A still-armed timer finds an empty pending list and no-ops.
+		co.mu.Unlock()
+		co.flush(batch)
+		return
+	}
+	if !co.timerOn {
+		co.timerOn = true
+		time.AfterFunc(co.window, co.timerFlush)
+	}
+	co.mu.Unlock()
+}
+
+func (co *coalescer) timerFlush() {
+	co.mu.Lock()
+	batch := co.pending
+	co.pending = nil
+	co.timerOn = false
+	co.mu.Unlock()
+	if len(batch) > 0 {
+		co.flush(batch)
+	}
+}
+
+// flush builds every job in one BuildPlans pass and releases the
+// waiters.
+func (co *coalescer) flush(batch []*planJob) {
+	co.acquire()
+	defer co.release()
+	jobs := make([]driver.PlanJob, len(batch))
+	for i, j := range batch {
+		jobs[i] = driver.PlanJob{Config: j.cfg, Options: j.opt}
+	}
+	plans, errs := driver.BuildPlans(jobs, co.workers)
+	co.mu.Lock()
+	co.batches++
+	co.planned += uint64(len(batch))
+	co.mu.Unlock()
+	if co.onFlush != nil {
+		co.onFlush(len(batch))
+	}
+	for i, j := range batch {
+		j.plan, j.err = plans[i], errs[i]
+		close(j.done)
+	}
+}
+
+// stats returns how many flushes ran and how many plans they built.
+func (co *coalescer) stats() (batches, planned uint64) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.batches, co.planned
+}

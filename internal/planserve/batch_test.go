@@ -1,0 +1,202 @@
+package planserve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"nestwrf"
+	"nestwrf/internal/driver"
+	"nestwrf/internal/nest"
+)
+
+// batchBody builds a /v1/plan/batch body from plan-request bodies.
+func batchBody(reqs ...string) string {
+	return `{"requests":[` + join(reqs, ",") + `]}`
+}
+
+func join(ss []string, sep string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += sep
+		}
+		out += s
+	}
+	return out
+}
+
+// TestBatchEndpoint: a batch's items must round-trip in request order,
+// each byte-equivalent to what the single /v1/plan endpoint returns,
+// with duplicate items sharing one computation and a second call
+// hitting the cache throughout.
+func TestBatchEndpoint(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	h := srv.Handler()
+
+	a := testRequest("concurrent", "predicted", "multilevel")
+	b := testRequest("sequential", "equal", "txyz")
+	code, _, raw := post(t, h, "/v1/plan/batch", batchBody(a, a, b))
+	if code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", code, raw)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Responses) != 3 {
+		t.Fatalf("got %d responses, want 3", len(resp.Responses))
+	}
+	for i, item := range resp.Responses {
+		if item.Error != "" || item.Plan == nil {
+			t.Fatalf("item %d: error %q, plan %v", i, item.Error, item.Plan)
+		}
+	}
+	if !reflect.DeepEqual(resp.Responses[0].Plan, resp.Responses[1].Plan) {
+		t.Error("duplicate items returned different plans")
+	}
+
+	// Each item must match the single endpoint's body for the same
+	// query (which is a cache hit now, hence byte-identical to cold).
+	for i, body := range []string{a, b} {
+		code, cacheHdr, single := post(t, h, "/v1/plan", body)
+		if code != http.StatusOK || cacheHdr != "hit" {
+			t.Fatalf("single query %d: status %d cache %q", i, code, cacheHdr)
+		}
+		var want PlanResponse
+		if err := json.Unmarshal(single, &want); err != nil {
+			t.Fatal(err)
+		}
+		got := resp.Responses[2*i] // items 0 and 2
+		if !reflect.DeepEqual(&want, got.Plan) {
+			t.Errorf("batch item %d differs from single endpoint response", 2*i)
+		}
+	}
+
+	// Second batch: everything resident.
+	code, _, raw = post(t, h, "/v1/plan/batch", batchBody(a, b))
+	if code != http.StatusOK {
+		t.Fatalf("second batch status %d", code)
+	}
+	resp = BatchResponse{}
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	for i, item := range resp.Responses {
+		if item.Cache != "hit" {
+			t.Errorf("second batch item %d: cache %q, want hit", i, item.Cache)
+		}
+	}
+}
+
+// TestBatchEndpointErrors: item-level failures are inline; an empty
+// batch is a request-level 400.
+func TestBatchEndpointErrors(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	h := srv.Handler()
+
+	bad := `{"machine":"cray","ranks":64,"domain":{"nx":64,"ny":64}}`
+	good := testRequest("concurrent", "predicted", "oblivious")
+	code, _, raw := post(t, h, "/v1/plan/batch", batchBody(bad, good))
+	if code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", code, raw)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Responses[0].Error == "" || resp.Responses[0].Plan != nil {
+		t.Errorf("bad item should fail inline: %+v", resp.Responses[0])
+	}
+	if resp.Responses[1].Error != "" || resp.Responses[1].Plan == nil {
+		t.Errorf("good item should succeed: %+v", resp.Responses[1])
+	}
+
+	if code, _, _ := post(t, h, "/v1/plan/batch", `{"requests":[]}`); code != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d, want 400", code)
+	}
+}
+
+// TestMissCoalescing: distinct-key misses arriving within the batch
+// window must plan in shared BuildPlans passes, not one pool pass per
+// miss. The window is generous so slow CI schedulers still land every
+// request inside it.
+func TestMissCoalescing(t *testing.T) {
+	srv := New(Config{BatchWindow: 200 * time.Millisecond})
+	defer srv.Close()
+	h := srv.Handler()
+
+	const distinct = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, distinct)
+	for i := 0; i < distinct; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"machine":"bgl","ranks":64,"strategy":"sequential","mapping":"oblivious","domain":{"nx":%d,"ny":64}}`, 64+8*i)
+			if code, _, raw := post(t, h, "/v1/plan", body); code != http.StatusOK {
+				errs <- fmt.Errorf("query %d: status %d: %s", i, code, raw)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	batches, planned := srv.batch.stats()
+	if planned != distinct {
+		t.Errorf("coalescer planned %d, want %d", planned, distinct)
+	}
+	if batches == 0 || batches >= distinct {
+		t.Errorf("%d misses flushed in %d batches, want coalescing (1..%d)", distinct, batches, distinct-1)
+	}
+	_, misses, _ := func() (uint64, uint64, uint64) { return srv.plans.Stats() }()
+	if misses != distinct {
+		t.Errorf("cache misses %d, want %d", misses, distinct)
+	}
+}
+
+// TestRunBatch: PlanCache.RunBatch must return per-job results
+// bit-identical to individual Run calls, in input order, counting one
+// miss per distinct key.
+func TestRunBatch(t *testing.T) {
+	cache := NewPlanCache(64)
+	defer cache.Close()
+
+	var jobs []RunJob
+	for i := 0; i < 4; i++ {
+		cfg := nest.Root("p", 286, 307)
+		cfg.AddChild("t1", 394-8*i, 418, 3, 5, 5)
+		jobs = append(jobs, RunJob{Config: cfg, Opt: driver.Options{
+			Machine: nestwrf.BlueGeneL(), Ranks: 64, Strategy: driver.Concurrent,
+		}})
+	}
+	jobs = append(jobs, jobs[0]) // duplicate key
+
+	results, errs := cache.RunBatch(context.Background(), jobs, 4)
+	for i := range jobs {
+		if errs[i] != nil {
+			t.Fatalf("job %d: %v", i, errs[i])
+		}
+		want, err := driver.Run(jobs[i].Config, jobs[i].Opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, results[i]) {
+			t.Errorf("job %d: batch result differs from direct Run", i)
+		}
+	}
+	_, misses, _ := cache.Stats()
+	if misses != 4 {
+		t.Errorf("misses %d, want 4 (duplicate shares one computation)", misses)
+	}
+}

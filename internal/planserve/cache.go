@@ -59,15 +59,24 @@ type cache struct {
 
 	hits, misses, evictions, joins uint64
 
+	// Warm-load accounting: entries restored from a persisted snapshot
+	// (loaded), snapshot entries refused at load time (rejected —
+	// machine mismatch, decode failure, over capacity), and warm
+	// entries later pushed out by LRU churn (evicted).
+	warmLoaded, warmRejected, warmEvicted uint64
+
 	// Optional registry counters, mirroring the internal counts; nil
 	// (the default) is a no-op thanks to the metrics nil contract.
-	mHits, mMisses, mEvictions, mJoins *metrics.Counter
+	mHits, mMisses, mEvictions, mJoins       *metrics.Counter
+	mWarmLoaded, mWarmRejected, mWarmEvicted *metrics.Counter
 }
 
-// lruEntry is the list payload.
+// lruEntry is the list payload. warm marks entries restored from a
+// snapshot rather than computed in this process.
 type lruEntry struct {
-	key string
-	val any
+	key  string
+	val  any
+	warm bool
 }
 
 // newCache returns an LRU cache bounded to max entries (min 1).
@@ -152,10 +161,71 @@ func (c *cache) insert(key string, val any) {
 	for c.ll.Len() > c.max {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.entries, oldest.Value.(*lruEntry).key)
+		e := oldest.Value.(*lruEntry)
+		delete(c.entries, e.key)
 		c.evictions++
 		c.mEvictions.Inc()
+		if e.warm {
+			c.warmEvicted++
+			c.mWarmEvicted.Inc()
+		}
 	}
+}
+
+// dumpEntry is one resident entry in dump order.
+type dumpEntry struct {
+	key string
+	val any
+}
+
+// dump returns the resident entries, most recently used first.
+func (c *cache) dump() []dumpEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]dumpEntry, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*lruEntry)
+		out = append(out, dumpEntry{key: e.key, val: e.val})
+	}
+	return out
+}
+
+// loadWarm inserts one snapshot entry without touching the hit/miss
+// counters. Entries must arrive most-recently-used first: each lands
+// behind the previously loaded ones, reconstructing the dump's LRU
+// order exactly. Returns false — the caller counts a rejection — when
+// the cache is closed, already holds the key, or is at capacity.
+func (c *cache) loadWarm(key string, val any) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || c.ll.Len() >= c.max {
+		return false
+	}
+	if _, ok := c.entries[key]; ok {
+		return false
+	}
+	c.entries[key] = c.ll.PushBack(&lruEntry{key: key, val: val, warm: true})
+	c.warmLoaded++
+	c.mWarmLoaded.Inc()
+	return true
+}
+
+// noteWarmRejected records n snapshot entries refused at load time.
+func (c *cache) noteWarmRejected(n int) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.warmRejected += uint64(n)
+	c.mWarmRejected.Add(float64(n))
+}
+
+// WarmStats returns the snapshot warm-load counters.
+func (c *cache) WarmStats() (loaded, rejected, evicted uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.warmLoaded, c.warmRejected, c.warmEvicted
 }
 
 // Len returns the number of resident entries.
@@ -194,6 +264,9 @@ func (c *cache) instrument(reg *metrics.Registry, prefix string, labels ...metri
 	c.mMisses = reg.Counter(prefix+"_misses_total", labels...)
 	c.mEvictions = reg.Counter(prefix+"_evictions_total", labels...)
 	c.mJoins = reg.Counter(prefix+"_joins_total", labels...)
+	c.mWarmLoaded = reg.Counter("planserve_cache_warm_loaded_total", labels...)
+	c.mWarmRejected = reg.Counter("planserve_cache_warm_rejected_total", labels...)
+	c.mWarmEvicted = reg.Counter("planserve_cache_warm_evicted_total", labels...)
 }
 
 // Close empties the cache and makes further Do calls fail fast.

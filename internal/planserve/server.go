@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -192,6 +193,15 @@ type Config struct {
 	// Workers bounds concurrent cache-miss planning. Default
 	// GOMAXPROCS.
 	Workers int
+	// BatchWindow is how long the first concurrently arriving
+	// distinct-key /v1/plan miss waits for further misses before all
+	// pending plans are built in one batched driver.BuildPlans pass
+	// (one trained predictor per machine, one worker-pool fan). Zero
+	// selects the 500µs default; negative disables coalescing, so each
+	// miss plans immediately on its own pool slot.
+	BatchWindow time.Duration
+	// BatchMax caps the plans coalesced into one batch. Default 64.
+	BatchMax int
 	// RequestTimeout bounds each request end to end. Default 30s.
 	RequestTimeout time.Duration
 	// Metrics receives per-request instrumentation; nil disables it
@@ -213,6 +223,7 @@ type Server struct {
 	cfg    Config
 	plans  *cache
 	sem    chan struct{}
+	batch  *coalescer // nil when coalescing is disabled
 	reg    *metrics.Registry
 	tracer *telemetry.Tracer
 	log    *slog.Logger
@@ -234,6 +245,12 @@ func New(cfg Config) *Server {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 30 * time.Second
 	}
+	if cfg.BatchWindow == 0 {
+		cfg.BatchWindow = 500 * time.Microsecond
+	}
+	if cfg.BatchMax <= 0 {
+		cfg.BatchMax = 64
+	}
 	s := &Server{
 		cfg:    cfg,
 		plans:  newCache(cfg.CacheSize),
@@ -241,6 +258,19 @@ func New(cfg Config) *Server {
 		reg:    cfg.Metrics,
 		tracer: cfg.Tracer,
 		log:    cfg.Log,
+	}
+	if cfg.BatchWindow > 0 {
+		s.batch = &coalescer{
+			window:  cfg.BatchWindow,
+			maxJobs: cfg.BatchMax,
+			workers: cfg.Workers,
+			acquire: func() { s.sem <- struct{}{} },
+			release: func() { <-s.sem },
+			onFlush: func(jobs int) {
+				s.reg.Counter("planserve_coalesced_batches_total").Inc()
+				s.reg.Counter("planserve_coalesced_plans_total").Add(float64(jobs))
+			},
+		}
 	}
 	s.plans.instrument(cfg.Metrics, "plancache")
 	return s
@@ -269,6 +299,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/compare", func(w http.ResponseWriter, r *http.Request) {
 		s.serveQuery(w, r, "compare")
 	})
+	mux.HandleFunc("POST /v1/plan/batch", s.serveBatch)
 	mux.HandleFunc("GET /v1/stats", s.serveStats)
 	mux.HandleFunc("GET /debug/progress", s.serveProgress)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -346,38 +377,37 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint str
 	// the exported trace. Neither field is part of the cache key.
 	opt.Tracer = s.tracer
 	opt.TraceParent = sp.ID()
-	csp := startLookupSpan(opt, "plancache."+endpoint)
 
-	var compute func() (any, error)
-	switch endpoint {
-	case "plan":
-		compute = func() (any, error) { return nestwrf.BuildPlan(cfg, opt) }
-	default:
-		compute = func() (any, error) {
+	var val any
+	var out cacheOutcome
+	if endpoint == "plan" {
+		var p *driver.Plan
+		p, out, err = s.lookupPlan(ctx, m, opt, cfg)
+		val = p
+	} else {
+		csp := startLookupSpan(opt, "plancache."+endpoint)
+		key := cacheKey(endpoint+"|", m, opt, cfg)
+		opt.TraceParent = csp.ID() // the miss computation parents under the lookup
+		val, out, err = s.plans.do(ctx, key, func() (any, error) {
+			// The singleflight leader claims a worker-pool slot; joiners
+			// wait on the flight, not the pool.
+			select {
+			case s.sem <- struct{}{}:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			defer func() { <-s.sem }()
 			cmp, err := nestwrf.Compare(cfg, opt)
 			if err != nil {
 				return nil, err
 			}
 			return &cmp, nil
-		}
+		})
+		endLookupSpan(csp, out, err)
+		s.reg.Counter("planserve_cache_total",
+			metrics.L("endpoint", endpoint), metrics.L("result", out.String())).Inc()
 	}
-	key := cacheKey(endpoint+"|", m, opt, cfg)
-	opt.TraceParent = csp.ID() // the miss computation parents under the lookup
-	val, out, err := s.plans.do(ctx, key, func() (any, error) {
-		// The singleflight leader claims a worker-pool slot; joiners
-		// wait on the flight, not the pool.
-		select {
-		case s.sem <- struct{}{}:
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
-		defer func() { <-s.sem }()
-		return compute()
-	})
-	endLookupSpan(csp, out, err)
 	result = out.String()
-	s.reg.Counter("planserve_cache_total",
-		metrics.L("endpoint", endpoint), metrics.L("result", result)).Inc()
 	if err != nil {
 		code = statusFor(err)
 		writeJSON(w, code, errorResponse{Error: err.Error()})
@@ -405,6 +435,159 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint str
 	}
 }
 
+// lookupPlan runs one plan query through the shared cache: resident
+// entries and singleflight joins answer immediately; a distinct-key
+// miss either coalesces into the server's batch (the default) or
+// computes on its own worker-pool slot when coalescing is disabled.
+func (s *Server) lookupPlan(ctx context.Context, m machine.Machine, opt driver.Options, cfg *nest.Domain) (*driver.Plan, cacheOutcome, error) {
+	csp := startLookupSpan(opt, "plancache.plan")
+	key := cacheKey("plan|", m, opt, cfg)
+	opt.TraceParent = csp.ID() // the miss computation parents under the lookup
+	val, out, err := s.plans.do(ctx, key, func() (any, error) {
+		if s.batch != nil {
+			j := &planJob{cfg: cfg, opt: opt, done: make(chan struct{})}
+			s.batch.submit(j)
+			select {
+			case <-j.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if j.err != nil {
+				return nil, j.err
+			}
+			return j.plan, nil
+		}
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		defer func() { <-s.sem }()
+		return nestwrf.BuildPlan(cfg, opt)
+	})
+	endLookupSpan(csp, out, err)
+	s.reg.Counter("planserve_cache_total",
+		metrics.L("endpoint", "plan"), metrics.L("result", out.String())).Inc()
+	if err != nil {
+		return nil, out, err
+	}
+	return val.(*driver.Plan), out, nil
+}
+
+// maxBatchBodyBytes bounds /v1/plan/batch bodies; maxBatchItems bounds
+// the requests per batch call.
+const (
+	maxBatchBodyBytes = 8 << 20
+	maxBatchItems     = 256
+)
+
+// BatchRequest is the JSON body of /v1/plan/batch: a list of plan
+// queries answered in one round trip. Concurrently planned distinct
+// geometries coalesce into shared BuildPlans passes server-side, so a
+// cold generation submitted here plans batched instead of serially.
+type BatchRequest struct {
+	Requests []PlanRequest `json:"requests"`
+}
+
+// BatchItemResponse is one query's outcome, in request order. Exactly
+// one of Plan and Error is set; Cache reports the lookup outcome
+// ("hit", "miss", "join", or "none" when the request never resolved).
+type BatchItemResponse struct {
+	Plan  *PlanResponse `json:"plan,omitempty"`
+	Error string        `json:"error,omitempty"`
+	Cache string        `json:"cache"`
+}
+
+// BatchResponse is the JSON body of a /v1/plan/batch response.
+type BatchResponse struct {
+	Responses []BatchItemResponse `json:"responses"`
+}
+
+// serveBatch handles POST /v1/plan/batch: every item runs through the
+// same cache lookup as /v1/plan, concurrently, and the response keeps
+// request order. Item failures (unknown machine, invalid domain) are
+// reported inline so one bad query cannot fail a whole generation.
+func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	const endpoint = "plan_batch"
+	s.requests.Add(1)
+	s.inflight.Add(1)
+	s.reg.Gauge("planserve_inflight_requests").Add(1)
+	code := http.StatusOK
+	items := 0
+	sp := s.tracer.Start(0, "planserve."+endpoint, telemetry.LayerServe)
+	sp.Annotate("endpoint", endpoint)
+	defer func() {
+		dur := time.Since(start).Seconds()
+		s.inflight.Add(-1)
+		s.reg.Gauge("planserve_inflight_requests").Add(-1)
+		s.reg.Counter("planserve_requests_total",
+			metrics.L("endpoint", endpoint), metrics.L("code", strconv.Itoa(code))).Inc()
+		s.reg.Histogram("planserve_request_seconds", latencyBounds,
+			metrics.L("endpoint", endpoint)).Observe(dur)
+		s.reg.Summary("planserve_request_seconds_summary", nil,
+			metrics.L("endpoint", endpoint)).Observe(dur)
+		if sp != nil {
+			sp.Annotate("code", strconv.Itoa(code))
+			sp.Annotate("items", strconv.Itoa(items))
+			sp.End()
+		}
+		if s.log != nil {
+			s.log.Info("request",
+				"endpoint", endpoint, "code", code, "seconds", dur,
+				"items", items, "span", sp.ID().String())
+		}
+	}()
+
+	var req BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		code = http.StatusBadRequest
+		writeJSON(w, code, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if len(req.Requests) == 0 {
+		code = http.StatusBadRequest
+		writeJSON(w, code, errorResponse{Error: "empty batch"})
+		return
+	}
+	if len(req.Requests) > maxBatchItems {
+		code = http.StatusBadRequest
+		writeJSON(w, code, errorResponse{
+			Error: fmt.Sprintf("batch of %d requests exceeds the %d limit", len(req.Requests), maxBatchItems)})
+		return
+	}
+	items = len(req.Requests)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	resp := BatchResponse{Responses: make([]BatchItemResponse, len(req.Requests))}
+	var wg sync.WaitGroup
+	for i := range req.Requests {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, opt, cfg, err := req.Requests[i].resolve()
+			if err != nil {
+				resp.Responses[i] = BatchItemResponse{Error: err.Error(), Cache: "none"}
+				return
+			}
+			opt.Tracer = s.tracer
+			opt.TraceParent = sp.ID()
+			p, out, err := s.lookupPlan(ctx, m, opt, cfg)
+			if err != nil {
+				resp.Responses[i] = BatchItemResponse{Error: err.Error(), Cache: out.String()}
+				return
+			}
+			resp.Responses[i] = BatchItemResponse{Plan: planResponse(m, cfg, p), Cache: out.String()}
+		}(i)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, &resp)
+}
+
 // planResponse marshals a cached (name-free) plan back under the
 // request's own domain names.
 func planResponse(m machine.Machine, cfg *nest.Domain, p *driver.Plan) *PlanResponse {
@@ -430,9 +613,19 @@ func planResponse(m machine.Machine, cfg *nest.Domain, p *driver.Plan) *PlanResp
 // serveStats reports cache occupancy and hit/miss counters as JSON.
 func (s *Server) serveStats(w http.ResponseWriter, _ *http.Request) {
 	entries, hits, misses, evictions := s.CacheStats()
+	warmLoaded, warmRejected, warmEvicted := s.plans.WarmStats()
+	var batches, batched uint64
+	if s.batch != nil {
+		batches, batched = s.batch.stats()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"entries": entries, "hits": hits, "misses": misses, "evictions": evictions,
-		"joins": s.CacheJoins(),
+		"joins":         s.CacheJoins(),
+		"batches":       batches,
+		"batched_plans": batched,
+		"warm_loaded":   warmLoaded,
+		"warm_rejected": warmRejected,
+		"warm_evicted":  warmEvicted,
 	})
 }
 

@@ -1,0 +1,200 @@
+package planserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"nestwrf"
+	"nestwrf/internal/driver"
+	"nestwrf/internal/machine"
+)
+
+// SnapshotVersion is the schema tag of persisted plan-cache snapshots.
+// Any incompatible change to cached value encodings must bump it; a
+// mismatched snapshot is rejected whole.
+const SnapshotVersion = "nestwrf/plan-cache/v1"
+
+// snapshotFile is the on-disk form of a plan cache: every resident
+// entry with its canonical key and JSON-encoded value, most recently
+// used first, plus the identity keys of the machines the entries were
+// computed against.
+type snapshotFile struct {
+	Version  string            `json:"version"`
+	Machines map[string]string `json:"machines"` // machine name -> full identity key at save time
+	Entries  []snapshotEntry   `json:"entries"`
+}
+
+// snapshotEntry is one cached value. Kind selects the decode type
+// ("plan", "compare" or "run"); Machine names the machine whose
+// identity key must still appear in Key for the entry to load — a
+// cost-model change between save and load silently changes every key,
+// so stale entries are rejected instead of shadowing fresh plans.
+type snapshotEntry struct {
+	Key     string          `json:"key"`
+	Kind    string          `json:"kind"`
+	Machine string          `json:"machine"`
+	Value   json.RawMessage `json:"value"`
+}
+
+// knownMachines are the machines snapshot validation checks entries
+// against: the same fixed models the HTTP request resolver accepts.
+func knownMachines() map[string]machine.Machine {
+	bgl, bgp := nestwrf.BlueGeneL(), nestwrf.BlueGeneP()
+	return map[string]machine.Machine{bgl.Name: bgl, bgp.Name: bgp}
+}
+
+// saveSnapshot writes the cache's resident entries to path atomically
+// (temp file + rename) and returns how many entries were persisted.
+// Entries for machines outside the known set are skipped: their keys
+// could never validate at load time.
+func saveSnapshot(c *cache, path string) (int, error) {
+	known := knownMachines()
+	names := make([]string, 0, len(known))
+	keys := map[string]string{}
+	for name, m := range known {
+		names = append(names, name)
+		keys[name] = driver.MachineKey(m)
+	}
+	sort.Strings(names)
+
+	snap := snapshotFile{Version: SnapshotVersion, Machines: keys}
+	for _, e := range c.dump() {
+		var kind string
+		switch e.val.(type) {
+		case *driver.Plan:
+			kind = "plan"
+		case *nestwrf.Comparison:
+			kind = "compare"
+		case *driver.Result:
+			kind = "run"
+		default:
+			continue
+		}
+		var mname string
+		for _, name := range names {
+			if strings.Contains(e.key, keys[name]) {
+				mname = name
+				break
+			}
+		}
+		if mname == "" {
+			continue
+		}
+		raw, err := json.Marshal(e.val)
+		if err != nil {
+			continue
+		}
+		snap.Entries = append(snap.Entries, snapshotEntry{
+			Key: e.key, Kind: kind, Machine: mname, Value: raw,
+		})
+	}
+
+	data, err := json.Marshal(&snap)
+	if err != nil {
+		return 0, fmt.Errorf("planserve: encode snapshot: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return len(snap.Entries), nil
+}
+
+// loadSnapshot warm-loads a snapshot into the cache. A file-level
+// problem (unreadable, corrupt JSON, version mismatch) returns an
+// error and loads nothing; per-entry problems (unknown machine, stale
+// machine identity, undecodable value, over capacity) reject just that
+// entry and increment the warm-rejected counter. Loaded entries keep
+// their saved recency order and are flagged warm, so later LRU churn
+// shows up in the warm-evicted counter.
+func loadSnapshot(c *cache, path string) (loaded, rejected int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return 0, 0, fmt.Errorf("planserve: snapshot %s: %w", path, err)
+	}
+	if snap.Version != SnapshotVersion {
+		return 0, 0, fmt.Errorf("planserve: snapshot %s: version %q, want %q",
+			path, snap.Version, SnapshotVersion)
+	}
+	known := knownMachines()
+	for _, e := range snap.Entries {
+		m, ok := known[e.Machine]
+		if !ok || !strings.Contains(e.Key, driver.MachineKey(m)) {
+			rejected++
+			continue
+		}
+		var val any
+		switch e.Kind {
+		case "plan":
+			p := new(driver.Plan)
+			if json.Unmarshal(e.Value, p) != nil {
+				rejected++
+				continue
+			}
+			val = p
+		case "compare":
+			cmp := new(nestwrf.Comparison)
+			if json.Unmarshal(e.Value, cmp) != nil {
+				rejected++
+				continue
+			}
+			val = cmp
+		case "run":
+			res := new(driver.Result)
+			if json.Unmarshal(e.Value, res) != nil {
+				rejected++
+				continue
+			}
+			val = res
+		default:
+			rejected++
+			continue
+		}
+		if !c.loadWarm(e.Key, val) {
+			rejected++
+			continue
+		}
+		loaded++
+	}
+	c.noteWarmRejected(rejected)
+	return loaded, rejected, nil
+}
+
+// SaveSnapshot persists the server's plan cache to path atomically.
+func (s *Server) SaveSnapshot(path string) (int, error) { return saveSnapshot(s.plans, path) }
+
+// LoadSnapshot warm-loads a snapshot into the server's plan cache; see
+// loadSnapshot for the validation rules. Call before serving traffic.
+func (s *Server) LoadSnapshot(path string) (loaded, rejected int, err error) {
+	return loadSnapshot(s.plans, path)
+}
+
+// CacheWarmStats reports the warm-load counters: snapshot entries
+// loaded, entries rejected at load time, and warm entries later
+// evicted by LRU churn.
+func (s *Server) CacheWarmStats() (loaded, rejected, evicted uint64) {
+	return s.plans.WarmStats()
+}
+
+// SaveSnapshot persists the cache to path atomically; see the Server
+// method of the same name.
+func (p *PlanCache) SaveSnapshot(path string) (int, error) { return saveSnapshot(p.c, path) }
+
+// LoadSnapshot warm-loads a snapshot; see Server.LoadSnapshot.
+func (p *PlanCache) LoadSnapshot(path string) (loaded, rejected int, err error) {
+	return loadSnapshot(p.c, path)
+}
+
+// WarmStats reports the warm-load counters; see Server.CacheWarmStats.
+func (p *PlanCache) WarmStats() (loaded, rejected, evicted uint64) { return p.c.WarmStats() }

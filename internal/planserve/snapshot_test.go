@@ -1,0 +1,179 @@
+package planserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSnapshotRoundTripByteIdentity is the persistence acceptance
+// guard: save -> restart -> warm-load must serve the first request as
+// an X-Plan-Cache hit with a body byte-identical to the original
+// server's cold-computed one, for both endpoints.
+func TestSnapshotRoundTripByteIdentity(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.snap")
+	planBody := testRequest("concurrent", "predicted", "multilevel")
+	compareBody := testRequest("concurrent", "predicted", "partition")
+
+	srvA := New(Config{})
+	hA := srvA.Handler()
+	_, _, wantPlan := post(t, hA, "/v1/plan", planBody)
+	_, _, wantCompare := post(t, hA, "/v1/compare", compareBody)
+	saved, err := srvA.SaveSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saved != 2 {
+		t.Fatalf("saved %d entries, want 2", saved)
+	}
+	srvA.Close()
+
+	srvB := New(Config{})
+	defer srvB.Close()
+	loaded, rejected, err := srvB.LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 2 || rejected != 0 {
+		t.Fatalf("loaded %d rejected %d, want 2/0", loaded, rejected)
+	}
+	hB := srvB.Handler()
+	code, cacheHdr, gotPlan := post(t, hB, "/v1/plan", planBody)
+	if code != http.StatusOK || cacheHdr != "hit" {
+		t.Fatalf("warm plan: status %d cache %q, want 200 hit", code, cacheHdr)
+	}
+	if !bytes.Equal(wantPlan, gotPlan) {
+		t.Errorf("warm plan body differs from original:\nwant %s\ngot  %s", wantPlan, gotPlan)
+	}
+	code, cacheHdr, gotCompare := post(t, hB, "/v1/compare", compareBody)
+	if code != http.StatusOK || cacheHdr != "hit" {
+		t.Fatalf("warm compare: status %d cache %q, want 200 hit", code, cacheHdr)
+	}
+	if !bytes.Equal(wantCompare, gotCompare) {
+		t.Error("warm compare body differs from original")
+	}
+	if l, r, e := srvB.CacheWarmStats(); l != 2 || r != 0 || e != 0 {
+		t.Errorf("warm stats %d/%d/%d, want 2/0/0", l, r, e)
+	}
+	if hits, misses, _ := srvB.plans.Stats(); hits != 2 || misses != 0 {
+		t.Errorf("hits %d misses %d after warm load, want 2/0", hits, misses)
+	}
+}
+
+// TestSnapshotRejectsCorruptFile: unreadable or corrupt snapshots fail
+// whole with an error and leave the server serving cold.
+func TestSnapshotRejectsCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	srv := New(Config{})
+	defer srv.Close()
+
+	if _, _, err := srv.LoadSnapshot(filepath.Join(dir, "missing.snap")); err == nil {
+		t.Error("missing file should error")
+	}
+
+	corrupt := filepath.Join(dir, "corrupt.snap")
+	if err := os.WriteFile(corrupt, []byte("not json{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := srv.LoadSnapshot(corrupt); err == nil {
+		t.Error("corrupt file should error")
+	}
+
+	stale := filepath.Join(dir, "stale.snap")
+	if err := os.WriteFile(stale, []byte(`{"version":"nestwrf/plan-cache/v0","entries":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := srv.LoadSnapshot(stale); err == nil {
+		t.Error("version mismatch should error")
+	}
+
+	// The server still plans cold after the failed loads.
+	code, cacheHdr, _ := post(t, srv.Handler(), "/v1/plan", testRequest("concurrent", "predicted", "oblivious"))
+	if code != http.StatusOK || cacheHdr != "miss" {
+		t.Errorf("cold query after failed load: status %d cache %q", code, cacheHdr)
+	}
+}
+
+// TestSnapshotRejectsMachineMismatch: entries whose machine identity
+// no longer matches the running binary's cost model (or names an
+// unknown machine) are rejected one by one with the counter bumped.
+func TestSnapshotRejectsMachineMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.snap")
+	srvA := New(Config{})
+	hA := srvA.Handler()
+	post(t, hA, "/v1/plan", testRequest("concurrent", "predicted", "multilevel"))
+	if _, err := srvA.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	srvA.Close()
+
+	// Doctor the snapshot: one entry with a stale identity key, one for
+	// a machine this binary does not know.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Entries) != 1 {
+		t.Fatalf("expected 1 entry, got %d", len(snap.Entries))
+	}
+	stale := snap.Entries[0]
+	stale.Key = "plan|machine.Machine{Name:\"BlueGene/L\", stale:true}|r=64|"
+	unknown := snap.Entries[0]
+	unknown.Machine = "BlueGene/Q"
+	snap.Entries = []snapshotEntry{stale, unknown}
+	data, _ = json.Marshal(&snap)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srvB := New(Config{})
+	defer srvB.Close()
+	loaded, rejected, err := srvB.LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 0 || rejected != 2 {
+		t.Fatalf("loaded %d rejected %d, want 0/2", loaded, rejected)
+	}
+	if l, r, _ := srvB.CacheWarmStats(); l != 0 || r != 2 {
+		t.Errorf("warm stats loaded %d rejected %d, want 0/2", l, r)
+	}
+}
+
+// TestSnapshotCapacityAndWarmEviction: loading past capacity rejects
+// the overflow, and warm entries pushed out by later traffic are
+// counted as warm evictions.
+func TestSnapshotCapacityAndWarmEviction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.snap")
+	srvA := New(Config{})
+	hA := srvA.Handler()
+	post(t, hA, "/v1/plan", testRequest("concurrent", "predicted", "multilevel"))
+	post(t, hA, "/v1/plan", testRequest("sequential", "equal", "txyz"))
+	if saved, _ := srvA.SaveSnapshot(path); saved != 2 {
+		t.Fatalf("saved %d, want 2", saved)
+	}
+	srvA.Close()
+
+	srvB := New(Config{CacheSize: 1})
+	defer srvB.Close()
+	loaded, rejected, err := srvB.LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 1 || rejected != 1 {
+		t.Fatalf("loaded %d rejected %d, want 1/1", loaded, rejected)
+	}
+
+	// A distinct cold query evicts the lone warm entry.
+	post(t, srvB.Handler(), "/v1/plan", `{"machine":"bgp","ranks":64,"strategy":"sequential","mapping":"oblivious","domain":{"nx":96,"ny":96}}`)
+	if _, _, evicted := srvB.CacheWarmStats(); evicted != 1 {
+		t.Errorf("warm evictions %d, want 1", evicted)
+	}
+}

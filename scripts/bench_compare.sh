@@ -16,7 +16,7 @@ cd "$(dirname "$0")/.."
 
 BASE="${1:-$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1)}"
 THRESHOLD="${2:-15}"
-BENCH="${3:-PerIteration85\$|Table1Wait\$|AllExperimentsSequential\$|Functional\$|FunctionalRanks\$|Simulate\$}"
+BENCH="${3:-PerIteration85\$|Table1Wait\$|AllExperimentsSequential\$|Functional\$|FunctionalRanks\$|Simulate\$|ColdPlan\$}"
 
 if [ -z "$BASE" ] || [ ! -f "$BASE" ]; then
     echo "bench_compare.sh: no baseline snapshot found (pass one, or commit a BENCH_<pr>.json)" >&2

@@ -4,16 +4,27 @@
 # in-process handler benchmark.
 #
 # Usage:
-#   scripts/loadtest.sh [duration] [concurrency]
+#   scripts/loadtest.sh [-churn] [duration] [concurrency]
 #
 # The script builds cmd/planserve, serves on an ephemeral localhost
 # port, runs the loadgen client for the given duration (default 2s)
 # with the given client count (default 2x CPUs), verifies a clean
 # SIGTERM shutdown, and finishes with the in-process cache-hot
 # benchmark (the number committed in BENCH_6.json).
+#
+# With -churn the loadgen cycles through distinct jittered sibling-rect
+# geometries instead of repeating one query, exercising the cold-miss
+# planning path (parallel BuildPlan + miss coalescing); the report
+# separates cold (miss) from warm (hit) throughput, and the closing
+# benchmark is the cold-planning batch instead of the cache-hot path.
 set -eu
 cd "$(dirname "$0")/.."
 
+CHURN=""
+if [ "${1:-}" = "-churn" ]; then
+  CHURN="-churn"
+  shift
+fi
 DURATION="${1:-2s}"
 CONCURRENCY="${2:-0}"
 ADDR="localhost:18080"
@@ -34,11 +45,15 @@ until "$BIN" -loadgen "http://$ADDR" -duration 1ms -concurrency 1 >/dev/null 2>&
   sleep 0.1
 done
 
-echo "== loadgen over TCP ($DURATION) =="
-if [ "$CONCURRENCY" -gt 0 ]; then
-  "$BIN" -loadgen "http://$ADDR" -duration "$DURATION" -concurrency "$CONCURRENCY"
+if [ -n "$CHURN" ]; then
+  echo "== loadgen over TCP, churn / cold-miss mode ($DURATION) =="
 else
-  "$BIN" -loadgen "http://$ADDR" -duration "$DURATION"
+  echo "== loadgen over TCP ($DURATION) =="
+fi
+if [ "$CONCURRENCY" -gt 0 ]; then
+  "$BIN" -loadgen "http://$ADDR" $CHURN -duration "$DURATION" -concurrency "$CONCURRENCY"
+else
+  "$BIN" -loadgen "http://$ADDR" $CHURN -duration "$DURATION"
 fi
 
 kill -TERM "$SRV"
@@ -46,5 +61,10 @@ wait "$SRV" || { echo "loadtest: server exited uncleanly" >&2; exit 1; }
 trap 'rm -rf "$(dirname "$BIN")"' EXIT
 
 echo
-echo "== in-process handler benchmark (cache-hot) =="
-go test ./internal/planserve -run '^$' -bench 'PlanQueryCacheHot$' -benchtime 2s -benchmem
+if [ -n "$CHURN" ]; then
+  echo "== in-process cold-planning benchmark (sequential vs parallel) =="
+  go test . -run '^$' -bench 'ColdPlan$' -benchtime 1x -benchmem
+else
+  echo "== in-process handler benchmark (cache-hot) =="
+  go test ./internal/planserve -run '^$' -bench 'PlanQueryCacheHot$' -benchtime 2s -benchmem
+fi
